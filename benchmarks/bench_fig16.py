@@ -1,0 +1,36 @@
+"""Figure 16: space overhead.
+
+Claims checked (paper Section 4.3): disk-first fpB+-Trees cost less than
+~9% extra space in both scenarios; cache-first is cheap after bulkload but
+grows substantially (paper: up to 36%) in mature trees because node
+placement decays under churn; disk-first overhead shrinks as pages grow.
+"""
+
+from repro.bench.figures import fig16
+
+from conftest import record
+
+
+def test_fig16_space_overhead(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig16(num_keys=60_000, page_sizes=(4096, 16384)), rounds=1, iterations=1
+    )
+    record(benchmark, result)
+
+    for row in result.filter(index="fp-disk"):
+        assert row["space_overhead_pct"] < 12.0, row
+
+    bulk_cf = result.filter(scenario="bulkload", index="fp-cache")
+    for row in bulk_cf:
+        assert row["space_overhead_pct"] < 12.0, row
+
+    # Mature cache-first trees pay noticeably more than bulkloaded ones.
+    for page_size in (4096, 16384):
+        bulk = result.filter(scenario="bulkload", page_size=page_size, index="fp-cache")[0]
+        mature = result.filter(scenario="mature", page_size=page_size, index="fp-cache")[0]
+        assert mature["space_overhead_pct"] > bulk["space_overhead_pct"]
+
+    # Disk-first overhead decreases with page size after bulkload.
+    small = result.filter(scenario="bulkload", page_size=4096, index="fp-disk")[0]
+    large = result.filter(scenario="bulkload", page_size=16384, index="fp-disk")[0]
+    assert large["space_overhead_pct"] <= small["space_overhead_pct"] + 1.0

@@ -1,0 +1,40 @@
+"""Figure 18: range-scan I/O performance on a multi-disk array.
+
+Claims checked (paper Section 4.3.2): tiny ranges are a wash; larger ranges
+give the fpB+-Tree a significant win (paper: 1.9x at 10^4 entries, 6.2-6.9x
+at 10^6-10^7); the speedup grows close to linearly with the number of
+disks.
+"""
+
+from repro.bench.figures import fig18
+
+from conftest import record
+
+
+def test_fig18_range_scan_io(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig18(
+            num_keys=120_000,
+            spans=(100, 2_000, 20_000),
+            disk_counts=(1, 4, 10),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record(benchmark, result)
+
+    def elapsed(panel, x, index):
+        return result.filter(panel=panel, x=x, index=index)[0]["elapsed_ms"]
+
+    # Panel (a): small ranges indistinguishable, large ranges a big win.
+    assert elapsed("a", 100, "fp-disk") <= elapsed("a", 100, "disk") * 1.2
+    assert elapsed("a", 20_000, "disk") / elapsed("a", 20_000, "fp-disk") > 3.0
+
+    # Panels (b)/(c): speedup grows with the number of disks.
+    speedups = [
+        result.filter(panel="b", x=disks, index="fp-disk")[0]["speedup"]
+        for disks in (1, 4, 10)
+    ]
+    assert speedups[0] < speedups[1] < speedups[2]
+    assert speedups[2] > 3.0
+    assert speedups[0] < 1.6  # one disk: nothing to overlap

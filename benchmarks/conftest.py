@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the per-figure benchmarks.
+
+Every ``bench_figNN.py`` regenerates (a scaled-down version of) one table or
+figure from the paper, checks the qualitative claims — who wins, by roughly
+what factor — and records the reproduced series in
+``benchmark.extra_info`` so ``pytest benchmarks/ --benchmark-only`` output
+doubles as an experiment log.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.bench.cache_runner import build_tree, measure_operations
+from repro.mem import MemorySystem
+from repro.workloads import KeyWorkload
+
+#: Default scale for cache experiments (the paper uses up to 10M keys).
+CACHE_KEYS = 60_000
+PAGE_SIZE = 16 * 1024
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return KeyWorkload(CACHE_KEYS)
+
+
+def build_measured(kind, workload, fill=1.0, page_size=PAGE_SIZE):
+    """(tree, mem) pair bulkloaded at the session scale."""
+    mem = MemorySystem()
+    keys, tids = workload.bulkload_arrays()
+    tree = build_tree(kind, keys, tids, fill=fill, page_size=page_size, mem=mem)
+    return tree, mem
+
+
+def search_cycles(kind, workload, fill=1.0, page_size=PAGE_SIZE, searches=150):
+    tree, mem = build_measured(kind, workload, fill, page_size)
+    picks = [int(k) for k in workload.search_keys(searches)]
+    phase = measure_operations(mem, tree.search, picks)
+    return phase.cycles_per_op
+
+
+def record(benchmark, result):
+    """Attach a FigureResult's rows to the benchmark report."""
+    benchmark.extra_info["figure"] = result.name
+    benchmark.extra_info["rows"] = result.rows

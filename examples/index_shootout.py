@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Four-way index shootout across page sizes (paper Figures 10/13/14 in one).
+
+Compares the disk-optimized B+-Tree, micro-indexing, and both fpB+-Trees on
+searches, insertions, and deletions, at 8KB and 32KB pages.  Reproduces the
+paper's core observations:
+
+* all cache-sensitive schemes search ~1.1-1.8x faster than the baseline;
+* micro-indexing collapses on updates (it keeps the giant sorted arrays);
+* fpB+-Trees win updates by an order of magnitude, and the gap *grows*
+  with page size, where the baseline's data movement explodes.
+
+Run:  python examples/index_shootout.py
+"""
+
+from repro import KeyWorkload, MemorySystem
+from repro.bench.cache_runner import INDEX_KINDS, PAPER_INDEX_ORDER, build_tree, measure_operations
+
+NUM_KEYS = 120_000
+OPERATIONS = 250
+
+
+def run_page_size(page_size):
+    print(f"\n=== page size {page_size // 1024}KB, {NUM_KEYS:,} keys, 70% full ===")
+    workload = KeyWorkload(NUM_KEYS)
+    keys, tids = workload.bulkload_arrays()
+    searches = [int(k) for k in workload.search_keys(OPERATIONS)]
+    inserts = list(zip(*[arr.tolist() for arr in workload.insert_keys(OPERATIONS)]))
+    deletes = [int(k) for k in workload.delete_keys(OPERATIONS)]
+
+    print(f"{'index':<24} {'search':>9} {'insert':>9} {'delete':>9}   (cycles/op)")
+    baseline = {}
+    for kind in PAPER_INDEX_ORDER:
+        mem = MemorySystem()
+        tree = build_tree(kind, keys, tids, fill=0.7, page_size=page_size, mem=mem)
+        search = measure_operations(mem, tree.search, searches).cycles_per_op
+        insert = measure_operations(
+            mem, lambda kv: tree.insert(kv[0], kv[1]), inserts
+        ).cycles_per_op
+        delete = measure_operations(mem, tree.delete, deletes).cycles_per_op
+        if kind == "disk":
+            baseline = {"search": search, "insert": insert, "delete": delete}
+            print(f"{INDEX_KINDS[kind]:<24} {search:>9,.0f} {insert:>9,.0f} {delete:>9,.0f}")
+        else:
+            print(
+                f"{INDEX_KINDS[kind]:<24} {search:>9,.0f} {insert:>9,.0f} {delete:>9,.0f}"
+                f"   ({baseline['search'] / search:.2f}x / "
+                f"{baseline['insert'] / insert:.1f}x / {baseline['delete'] / delete:.1f}x)"
+            )
+
+
+def main():
+    for page_size in (8192, 32768):
+        run_page_size(page_size)
+    print("\nSpeedups shown as (search / insert / delete) vs the disk-optimized baseline.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Node-size tuning: regenerate the paper's Table 2 and validate it.
+
+Shows how the analytic optimizer (Section 3.1.1) picks in-page node widths
+for any page size / memory system, then *measures* a width sweep on the
+cache simulator to confirm the selected width is near-optimal — the
+experiment behind the paper's Figure 11.
+
+Run:  python examples/index_tuning.py [--page-size 16384]
+"""
+
+import argparse
+
+from repro import DiskFirstFpTree, KeyWorkload, MemorySystem, TreeEnvironment
+from repro.bench.figures import _disk_first_widths_for_nonleaf
+from repro.core import optimize_cache_first, optimize_disk_first, optimize_micro_index
+
+
+def print_table2():
+    print("Optimal width selections (4-byte keys, T1=150, Tnext=10) — paper Table 2:")
+    print(f"{'page':>7}  {'disk-first (nonleaf/leaf)':>26}  {'fanout':>6}  "
+          f"{'cache-first':>11}  {'fanout':>6}  {'micro':>6}  {'fanout':>6}")
+    for page_size in (4096, 8192, 16384, 32768):
+        d = optimize_disk_first(page_size)
+        c = optimize_cache_first(page_size)
+        m = optimize_micro_index(page_size)
+        print(
+            f"{page_size:>7}  {f'{d.nonleaf_bytes}B / {d.leaf_bytes}B':>26}  {d.page_fanout:>6}  "
+            f"{f'{c.node_bytes}B':>11}  {c.page_fanout:>6}  {f'{m.subarray_bytes}B':>6}  {m.page_fanout:>6}"
+        )
+
+
+def sweep_widths(page_size, num_keys=150_000, searches=300):
+    print(f"\nMeasured width sweep at {page_size // 1024}KB pages "
+          f"({num_keys:,} keys, {searches} searches) — paper Figure 11(a):")
+    workload = KeyWorkload(num_keys)
+    keys, tids = workload.bulkload_arrays()
+    picks = [int(k) for k in workload.search_keys(searches)]
+    selected = optimize_disk_first(page_size)
+    for nonleaf_bytes in (64, 128, 192, 256, 320, 384):
+        widths = _disk_first_widths_for_nonleaf(page_size, nonleaf_bytes)
+        mem = MemorySystem()
+        tree = DiskFirstFpTree(TreeEnvironment(page_size=page_size, mem=mem), widths=widths)
+        with mem.paused():
+            tree.bulkload(keys, tids)
+        mem.clear_caches()
+        with mem.measure() as phase:
+            for key in picks:
+                tree.search(key)
+        marker = "  <- selected by the optimizer" if nonleaf_bytes == selected.nonleaf_bytes else ""
+        print(
+            f"  nonleaf {nonleaf_bytes:>4}B  leaf {widths.leaf_bytes:>4}B  "
+            f"fanout {widths.page_fanout:>5}  "
+            f"{phase.total_cycles / searches:8,.0f} cycles/search{marker}"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--page-size", type=int, default=16 * 1024)
+    args = parser.parse_args()
+    print_table2()
+    sweep_widths(args.page_size)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Fractal Prefetching B+-Trees — a full reproduction of Chen, Gibbons,
+Mowry & Valentin, *"Fractal Prefetching B+-Trees: Optimizing Both Cache and
+Disk Performance"* (SIGMOD 2002).
+
+Quick start::
+
+    from repro import DiskFirstFpTree, TreeEnvironment, MemorySystem
+
+    mem = MemorySystem()                      # Table 1 cache hierarchy
+    tree = DiskFirstFpTree(TreeEnvironment(page_size=16 * 1024, mem=mem))
+    tree.bulkload(range(0, 1_000_000, 2), range(500_000))
+    tree.search(42)                           # simulated cycles accumulate
+    print(mem.stats)
+
+The package layers:
+
+* :mod:`repro.des` — discrete-event simulation kernel;
+* :mod:`repro.mem` — cache-hierarchy simulator with prefetch modelling;
+* :mod:`repro.storage` — page store, CLOCK buffer pool, multi-disk array;
+* :mod:`repro.btree` — shared index infrastructure;
+* :mod:`repro.baselines` — disk-optimized B+-Tree, micro-indexing, pB+-Tree;
+* :mod:`repro.core` — the fpB+-Trees (disk-first and cache-first) and the
+  node-width optimizer (paper Table 2);
+* :mod:`repro.dbms` — mini DBMS for the Figure 19 experiment;
+* :mod:`repro.workloads` / :mod:`repro.bench` — experiment harness
+  (``python -m repro.bench list``).
+"""
+
+from .baselines import DiskBPlusTree, MicroIndexTree, PrefetchingBPlusTree
+from .btree import KEY4, KEY8, Index, IndexCorruptionError, KeySpec, ScanResult, TreeReport, inspect_tree
+from .btree.context import TreeEnvironment
+from .core import (
+    CacheFirstFpTree,
+    DiskFirstFpTree,
+    ExternalJumpPointerArray,
+    optimize_cache_first,
+    optimize_disk_first,
+    optimize_micro_index,
+)
+from .dbms import HeapTable, MiniDbms
+from .image import ImageFormatError, dump_tree_bytes, load_tree, load_tree_bytes, save_tree
+from .mem import CpuCostModel, MemoryConfig, MemorySystem
+from .storage import BufferPool, DiskArray, PageStore, StorageConfig
+from .workloads import KeyWorkload, build_mature_tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiskBPlusTree",
+    "MicroIndexTree",
+    "PrefetchingBPlusTree",
+    "Index",
+    "IndexCorruptionError",
+    "KeySpec",
+    "KEY4",
+    "KEY8",
+    "ScanResult",
+    "TreeReport",
+    "inspect_tree",
+    "TreeEnvironment",
+    "CacheFirstFpTree",
+    "DiskFirstFpTree",
+    "ExternalJumpPointerArray",
+    "optimize_cache_first",
+    "optimize_disk_first",
+    "optimize_micro_index",
+    "HeapTable",
+    "MiniDbms",
+    "ImageFormatError",
+    "dump_tree_bytes",
+    "load_tree",
+    "load_tree_bytes",
+    "save_tree",
+    "CpuCostModel",
+    "MemoryConfig",
+    "MemorySystem",
+    "BufferPool",
+    "DiskArray",
+    "PageStore",
+    "StorageConfig",
+    "KeyWorkload",
+    "build_mature_tree",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Baseline index structures the paper compares against."""
+
+from .disk_btree import DiskBPlusTree, DiskPage, DiskPageLayout
+from .micro_index import MicroIndexTree, MicroPageLayout
+from .pbtree import PBTreeNode, PrefetchingBPlusTree
+
+__all__ = [
+    "DiskBPlusTree",
+    "DiskPage",
+    "DiskPageLayout",
+    "MicroIndexTree",
+    "MicroPageLayout",
+    "PBTreeNode",
+    "PrefetchingBPlusTree",
+]

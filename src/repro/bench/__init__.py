@@ -1,0 +1,26 @@
+"""Experiment harness: one entry per paper table/figure, plus ablations."""
+
+from .cache_runner import (
+    INDEX_KINDS,
+    PAPER_INDEX_ORDER,
+    MeasuredPhase,
+    build_tree,
+    make_index,
+    measure_operations,
+)
+from .figures import ALL_EXPERIMENTS
+from .io_scan import ScanTiming, timed_range_scan
+from .results import FigureResult
+
+__all__ = [
+    "INDEX_KINDS",
+    "PAPER_INDEX_ORDER",
+    "MeasuredPhase",
+    "build_tree",
+    "make_index",
+    "measure_operations",
+    "ALL_EXPERIMENTS",
+    "ScanTiming",
+    "timed_range_scan",
+    "FigureResult",
+]

@@ -1,0 +1,93 @@
+"""Command-line entry point: ``python -m repro.bench <experiment> [...]``.
+
+Run ``python -m repro.bench list`` to see every experiment id; ``all`` runs
+the full set.  Figure functions accept keyword overrides via ``--set
+name=value`` (ints, floats and comma-separated int tuples are parsed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import ALL_EXPERIMENTS
+
+
+def _parse_value(text: str):
+    if "," in text:
+        return tuple(int(part) for part in text.split(",") if part)
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            continue
+    return text
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument("experiment", help="experiment id, 'list', or 'all'")
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a keyword parameter of the experiment function",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="FILE",
+        help="also write results as JSON (one object per experiment)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:28s} {doc}")
+        return 0
+
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    overrides = {}
+    for item in args.overrides:
+        if "=" not in item:
+            parser.error(f"--set expects NAME=VALUE, got {item!r}")
+        name, __, value = item.partition("=")
+        overrides[name] = _parse_value(value)
+
+    collected = []
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            parser.error(f"unknown experiment {name!r}; try 'list'")
+        started = time.time()
+        result = ALL_EXPERIMENTS[name](**overrides) if len(names) == 1 else ALL_EXPERIMENTS[name]()
+        print(result.format_table())
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n")
+        collected.append(result)
+    if args.json_path:
+        import json
+
+        payload = [
+            {
+                "name": r.name,
+                "description": r.description,
+                "columns": list(r.columns),
+                "rows": r.rows,
+                "notes": r.notes,
+            }
+            for r in collected
+        ]
+        with open(args.json_path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Shared machinery for the cache-performance experiments (Figures 10-15).
+
+Every cache experiment follows the paper's Section 4.2 recipe: bulkload a
+tree (untraced), clear the caches, run a batch of operations under the
+memory-hierarchy simulator, and report simulated cycles.  This module
+provides the index registry and the build/measure helpers so each figure is
+a few lines of parameter sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from ..baselines.disk_btree import DiskBPlusTree
+from ..baselines.micro_index import MicroIndexTree
+from ..baselines.pbtree import PrefetchingBPlusTree
+from ..btree.base import Index
+from ..btree.context import TreeEnvironment
+from ..core.cache_first import CacheFirstFpTree
+from ..core.disk_first import DiskFirstFpTree
+from ..mem.hierarchy import MemorySystem
+from ..mem.stats import MemoryStats
+
+__all__ = [
+    "INDEX_KINDS",
+    "PAPER_INDEX_ORDER",
+    "make_index",
+    "build_tree",
+    "measure_operations",
+    "MeasuredPhase",
+]
+
+#: Index kinds in the order the paper's figures present them.
+PAPER_INDEX_ORDER = ("disk", "micro", "fp-disk", "fp-cache")
+
+INDEX_KINDS: dict[str, str] = {
+    "disk": "disk-optimized B+tree",
+    "micro": "micro-indexing",
+    "fp-disk": "disk-first fpB+tree",
+    "fp-cache": "cache-first fpB+tree",
+    "pbtree": "pB+tree (memory-resident)",
+}
+
+
+def make_index(
+    kind: str,
+    page_size: int,
+    mem: Optional[MemorySystem] = None,
+    buffer_pages: int = 8192,
+    num_keys_hint: int = 1_000_000,
+) -> Index:
+    """Construct one of the five index structures."""
+    if kind == "pbtree":
+        return PrefetchingBPlusTree(mem=mem, page_size=page_size)
+    env = TreeEnvironment(page_size=page_size, mem=mem, buffer_pages=buffer_pages)
+    if kind == "disk":
+        return DiskBPlusTree(env)
+    if kind == "micro":
+        return MicroIndexTree(env)
+    if kind == "fp-disk":
+        return DiskFirstFpTree(env)
+    if kind == "fp-cache":
+        return CacheFirstFpTree(env, num_keys_hint=num_keys_hint)
+    raise ValueError(f"unknown index kind {kind!r}; choose from {sorted(INDEX_KINDS)}")
+
+
+def build_tree(
+    kind: str,
+    keys: np.ndarray,
+    tids: np.ndarray,
+    fill: float = 1.0,
+    page_size: int = 16 * 1024,
+    mem: Optional[MemorySystem] = None,
+    buffer_pages: int = 8192,
+) -> Index:
+    """Bulkload a fresh index of the given kind, untraced."""
+    index = make_index(kind, page_size, mem, buffer_pages, num_keys_hint=len(keys))
+    if mem is not None:
+        with mem.paused():
+            index.bulkload(keys, tids, fill=fill)
+    else:
+        index.bulkload(keys, tids, fill=fill)
+    return index
+
+
+@dataclass(frozen=True)
+class MeasuredPhase:
+    """Simulated-cycle outcome of an operation batch."""
+
+    operations: int
+    stats: MemoryStats
+
+    @property
+    def cycles_per_op(self) -> float:
+        return self.stats.total_cycles / max(1, self.operations)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.stats.total_cycles
+
+
+def measure_operations(
+    mem: MemorySystem,
+    operation: Callable[[int], object],
+    arguments: Iterable,
+    clear_caches: bool = True,
+) -> MeasuredPhase:
+    """Run a batch under measurement (cold caches, as in the paper)."""
+    items = list(arguments)
+    if clear_caches:
+        mem.clear_caches()
+    with mem.measure() as phase:
+        for item in items:
+            operation(item)
+    return MeasuredPhase(operations=len(items), stats=phase)

@@ -1,0 +1,152 @@
+"""Multipage-sized tree nodes: the Section 2.1 latency/throughput trade-off.
+
+The paper *argues* (without measuring) why fpB+-Trees keep single-page
+nodes: striping a multipage node across disks and fetching its pages in
+parallel improves the latency of one search, but in an OLTP mix the extra
+seeks on every spindle destroy aggregate throughput, because throughput is
+seek-limited.  This module turns that argument into a discrete-event
+experiment:
+
+* a tree with nodes of ``pages_per_node`` pages has a shallower page-level
+  descent (fan-out grows with node size) but each node visit reads
+  ``pages_per_node`` pages, striped across different disks and issued in
+  parallel;
+* ``concurrent_streams`` independent search streams share the disk array,
+  as concurrent OLTP transactions share it in a real server.
+
+With one stream, wider nodes win (parallel pages, fewer levels).  With
+many streams, every disk is busy anyway and the extra seeks per search
+make wide nodes strictly worse — exactly the paper's reasoning for
+``target node size = one disk page``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..des import Environment
+from ..storage.config import DiskParameters, StorageConfig
+from ..storage.disk import DiskArray
+from .results import FigureResult
+
+__all__ = ["MultipageSearchModel", "simulate_search_load", "ablation_multipage_nodes"]
+
+
+@dataclass(frozen=True)
+class MultipageSearchModel:
+    """Analytic geometry of a tree with nodes spanning several pages."""
+
+    num_keys: int
+    page_size: int = 16 * 1024
+    pages_per_node: int = 1
+    entry_bytes: int = 8
+    header_bytes: int = 64
+
+    @property
+    def node_fanout(self) -> int:
+        usable = self.pages_per_node * self.page_size - self.header_bytes
+        return max(2, usable // self.entry_bytes)
+
+    @property
+    def levels(self) -> int:
+        """Page-node levels from root to leaf."""
+        levels = 1
+        nodes = max(1, -(-self.num_keys // self.node_fanout))
+        while nodes > 1:
+            nodes = -(-nodes // self.node_fanout)
+            levels += 1
+        return levels
+
+    @property
+    def total_nodes(self) -> int:
+        count = 0
+        nodes = max(1, -(-self.num_keys // self.node_fanout))
+        while True:
+            count += nodes
+            if nodes == 1:
+                return count
+            nodes = -(-nodes // self.node_fanout)
+
+
+def simulate_search_load(
+    model: MultipageSearchModel,
+    num_disks: int = 10,
+    concurrent_streams: int = 1,
+    searches_per_stream: int = 20,
+    seed: int = 0,
+    disk: DiskParameters | None = None,
+) -> tuple[float, float]:
+    """Run concurrent random search streams; returns (avg latency us, throughput/s).
+
+    Each search walks ``model.levels`` nodes.  A node visit reads
+    ``pages_per_node`` pages on *distinct* disks in parallel (the paper's
+    striping, e.g. "a 64KB node could be striped across 4 disks ... and
+    read in parallel").  Random node placement models an uncached OLTP
+    working set.
+    """
+    if disk is None:
+        disk = DiskParameters(sequential_window_blocks=0)
+    config = StorageConfig(
+        page_size=model.page_size, num_disks=num_disks, buffer_pool_pages=8, disk=disk
+    )
+    env = Environment()
+    array = DiskArray(env, config)
+    rng = np.random.default_rng(seed)
+    latencies: list[float] = []
+    # Pre-draw the page ids each search touches (deterministic schedule).
+    total_pages = max(model.total_nodes * model.pages_per_node, num_disks)
+
+    def stream(stream_seed: int):
+        stream_rng = np.random.default_rng(stream_seed)
+        for __ in range(searches_per_stream):
+            started = env.now
+            for __level in range(model.levels):
+                # One node: pages_per_node page reads on distinct disks.
+                first = int(stream_rng.integers(0, total_pages))
+                reads = [
+                    array.read_page(first + offset)  # stripes round-robin
+                    for offset in range(model.pages_per_node)
+                ]
+                yield env.all_of(reads)
+            latencies.append(env.now - started)
+
+    processes = [env.process(stream(int(rng.integers(0, 1 << 30)))) for __ in range(concurrent_streams)]
+    env.run(until=env.all_of(processes))
+    total_searches = concurrent_streams * searches_per_stream
+    throughput = total_searches / (env.now / 1e6) if env.now > 0 else math.inf
+    return float(np.mean(latencies)), throughput
+
+
+def ablation_multipage_nodes(
+    num_keys: int = 10_000_000,
+    num_disks: int = 10,
+    node_sizes: tuple = (1, 2, 4),
+    stream_counts: tuple = (1, 16),
+    searches_per_stream: int = 15,
+) -> FigureResult:
+    """Section 2.1's argument, measured: wide nodes help latency, hurt OLTP."""
+    result = FigureResult(
+        "ablation-multipage-nodes",
+        "multipage-sized nodes: single-query latency vs OLTP throughput",
+        ["pages_per_node", "streams", "levels", "latency_ms", "throughput_per_s"],
+    )
+    for pages in node_sizes:
+        model = MultipageSearchModel(num_keys=num_keys, pages_per_node=pages)
+        for streams in stream_counts:
+            latency, throughput = simulate_search_load(
+                model,
+                num_disks=num_disks,
+                concurrent_streams=streams,
+                searches_per_stream=searches_per_stream,
+            )
+            result.add(
+                pages_per_node=pages,
+                streams=streams,
+                levels=model.levels,
+                latency_ms=round(latency / 1000, 2),
+                throughput_per_s=round(throughput, 1),
+            )
+    return result

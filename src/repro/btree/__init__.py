@@ -1,0 +1,37 @@
+"""Shared B+-Tree infrastructure: keys, tracing, search, the Index interface."""
+
+from .base import Index, IndexCorruptionError, ScanResult, as_key_array, chunk_evenly
+from .inspect import TreeReport, inspect_tree
+from .keys import (
+    INPAGE_OFFSET_SIZE,
+    INVALID_PAGE_ID,
+    KEY4,
+    KEY8,
+    PAGE_ID_SIZE,
+    TUPLE_ID_SIZE,
+    KeySpec,
+)
+from .search import child_slot, insertion_slot, traced_searchsorted
+from .trace import NULL_TRACER, Tracer
+
+__all__ = [
+    "Index",
+    "TreeReport",
+    "inspect_tree",
+    "IndexCorruptionError",
+    "ScanResult",
+    "as_key_array",
+    "chunk_evenly",
+    "KeySpec",
+    "KEY4",
+    "KEY8",
+    "PAGE_ID_SIZE",
+    "TUPLE_ID_SIZE",
+    "INPAGE_OFFSET_SIZE",
+    "INVALID_PAGE_ID",
+    "child_slot",
+    "insertion_slot",
+    "traced_searchsorted",
+    "NULL_TRACER",
+    "Tracer",
+]

@@ -1,0 +1,153 @@
+"""The common index interface implemented by every tree in the repo.
+
+All four disk-resident structures (disk-optimized B+-Tree, micro-indexing,
+disk-first fpB+-Tree, cache-first fpB+-Tree) implement :class:`Index`, so
+experiments iterate over them uniformly.  The contract:
+
+* keys and tuple ids are unsigned ints that fit the tree's
+  :class:`repro.btree.keys.KeySpec` / 4-byte tuple-id width;
+* duplicate keys are permitted (stored adjacently);
+* ``range_scan`` is inclusive on both ends and returns a count plus a tuple-id
+  checksum so implementations can be cross-validated without materializing
+  results;
+* ``validate()`` walks the whole structure checking invariants and raises
+  ``IndexCorruptionError`` on any violation (used heavily by tests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from .keys import KeySpec
+
+__all__ = ["Index", "ScanResult", "IndexCorruptionError", "as_key_array", "chunk_evenly"]
+
+
+class IndexCorruptionError(AssertionError):
+    """A structural invariant was violated."""
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Outcome of a range scan: entry count and tuple-id checksum."""
+
+    count: int
+    tid_sum: int
+
+    def __add__(self, other: "ScanResult") -> "ScanResult":
+        return ScanResult(self.count + other.count, self.tid_sum + other.tid_sum)
+
+
+EMPTY_SCAN = ScanResult(0, 0)
+
+
+def as_key_array(keys: Sequence[int] | np.ndarray, spec: KeySpec) -> np.ndarray:
+    """Validate and convert keys to the spec's dtype (no copy if possible)."""
+    array = np.asarray(keys)
+    if array.ndim != 1:
+        raise ValueError(f"keys must be one-dimensional, got shape {array.shape}")
+    if array.size and (int(array.min()) < 0 or int(array.max()) > spec.max_key):
+        raise ValueError(f"keys out of range for {spec.size}-byte keys")
+    return array.astype(spec.dtype, copy=False)
+
+
+def chunk_evenly(total: int, max_chunk: int) -> list[int]:
+    """Split ``total`` items into near-equal chunks of at most ``max_chunk``.
+
+    Used by bulkload to fill sibling nodes evenly (so later insertions find
+    empty slots — Section 3.1.2) while respecting node capacity.
+    """
+    if max_chunk <= 0:
+        raise ValueError(f"max_chunk must be positive, got {max_chunk}")
+    if total <= 0:
+        return []
+    pieces = -(-total // max_chunk)  # ceil division
+    base, remainder = divmod(total, pieces)
+    return [base + (1 if i < remainder else 0) for i in range(pieces)]
+
+
+class Index(ABC):
+    """Abstract ordered index over (key, tuple-id) entries."""
+
+    #: Human-readable name used in experiment output.
+    name: str = "index"
+
+    @abstractmethod
+    def bulkload(self, keys: Sequence[int], tids: Sequence[int], fill: float = 1.0) -> None:
+        """Build the tree from sorted keys with the given node fill factor."""
+
+    @abstractmethod
+    def search(self, key: int) -> Optional[int]:
+        """Return the tuple id for ``key``, or None if absent."""
+
+    @abstractmethod
+    def insert(self, key: int, tid: int) -> None:
+        """Insert an entry (duplicates allowed)."""
+
+    @abstractmethod
+    def delete(self, key: int) -> bool:
+        """Lazily delete one entry with ``key``; True if one was removed."""
+
+    @abstractmethod
+    def range_scan(self, start_key: int, end_key: int) -> ScanResult:
+        """Count entries with start_key <= key <= end_key (inclusive)."""
+
+    def range_scan_reverse(self, start_key: int, end_key: int) -> ScanResult:
+        """Scan the same range walking leaves right-to-left.
+
+        Mirrors the paper's DB2 integration, which added sibling links in
+        both directions to support reverse scans (Section 4.3.3).  The
+        result is identical to :meth:`range_scan`; only the access pattern
+        differs.  Optional: structures without backward links may not
+        implement it.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not support reverse scans")
+
+    @abstractmethod
+    def leaf_page_ids(self) -> list[int]:
+        """Page ids of all leaf pages, in key order (for I/O experiments)."""
+
+    @abstractmethod
+    def validate(self) -> None:
+        """Check structural invariants; raise IndexCorruptionError if broken."""
+
+    @abstractmethod
+    def items(self) -> Iterable[tuple[int, int]]:
+        """All (key, tid) entries in key order (untraced; for testing)."""
+
+    def scan_items(self, start_key: int, end_key: int) -> Iterable[tuple[int, int]]:
+        """Yield (key, tid) entries with start_key <= key <= end_key, in order.
+
+        A cursor-style companion to :meth:`range_scan` that materializes the
+        entries instead of aggregating them (untraced).  Subclasses override
+        this with a positioned walk; the default filters :meth:`items` and
+        is correct for any implementation.
+        """
+        if end_key < start_key:
+            return
+        for key, tid in self.items():
+            if key > end_key:
+                return
+            if key >= start_key:
+                yield key, tid
+
+    # -- shared conveniences -------------------------------------------------
+
+    @property
+    @abstractmethod
+    def num_entries(self) -> int:
+        """Number of live entries."""
+
+    @property
+    @abstractmethod
+    def num_pages(self) -> int:
+        """Number of allocated disk pages (the Figure 16 space metric)."""
+
+    def check_fill(self, fill: float) -> float:
+        if not 0.0 < fill <= 1.0:
+            raise ValueError(f"fill factor must be in (0, 1], got {fill}")
+        return fill

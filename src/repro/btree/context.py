@@ -1,0 +1,49 @@
+"""Per-tree environment: page store, buffer pool, tracer, address space.
+
+Every index owns its own :class:`~repro.storage.PageStore` and
+:class:`~repro.storage.BufferPool` (as separate indexes would in a DBMS) but
+may share a :class:`~repro.mem.MemorySystem` with other trees in the same
+experiment, since the simulated CPU is what's being measured.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mem.hierarchy import MemorySystem
+from ..mem.layout import AddressSpace
+from ..storage.buffer import BufferPool
+from ..storage.config import StorageConfig
+from ..storage.pager import PageStore
+from .keys import KEY4, KeySpec
+from .trace import Tracer
+
+__all__ = ["TreeEnvironment"]
+
+
+class TreeEnvironment:
+    """Bundles the substrate objects an index needs."""
+
+    def __init__(
+        self,
+        page_size: int = 16 * 1024,
+        keyspec: KeySpec = KEY4,
+        mem: Optional[MemorySystem] = None,
+        buffer_pages: int = 8192,
+        address_space: Optional[AddressSpace] = None,
+    ) -> None:
+        self.page_size = page_size
+        self.keyspec = keyspec
+        self.mem = mem
+        self.tracer = Tracer(mem)
+        self.address_space = address_space if address_space is not None else AddressSpace()
+        self.storage_config = StorageConfig(
+            page_size=page_size, buffer_pool_pages=buffer_pages, num_disks=1
+        )
+        self.store = PageStore(page_size)
+        self.pool = BufferPool(self.storage_config, self.store, mem=mem, address_space=self.address_space)
+
+    @property
+    def line_size(self) -> int:
+        """Cache line size in effect (64 if no memory system attached)."""
+        return self.mem.config.line_size if self.mem is not None else 64

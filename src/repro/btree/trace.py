@@ -1,0 +1,97 @@
+"""Access tracing: the bridge between index code and the cache simulator.
+
+Index implementations never talk to :class:`repro.mem.MemorySystem`
+directly; they go through a :class:`Tracer`, which either forwards accesses
+(cache-performance experiments) or swallows them (pure-functional and
+I/O-only experiments, where ``mem is None``).  This keeps a single code path
+for every tree operation regardless of the measurement plane.
+
+The tracer also centralizes the CPU cost conventions:
+
+* :meth:`probe` — one binary-search probe: a demand load of the key plus the
+  compare/branch busy time and the expected branch-misprediction stall.
+* :meth:`move` — shifting ``nbytes`` of entries during insertion/deletion:
+  demand-touches the source and destination line ranges and charges the
+  per-line copy busy time.  This is the "data movement" cost that dominates
+  updates in disk-optimized B+-Trees (paper Section 4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..mem.hierarchy import MemorySystem
+
+__all__ = ["Tracer", "NULL_TRACER"]
+
+
+class Tracer:
+    """Forwards simulated memory accesses to an optional memory system."""
+
+    __slots__ = ("mem",)
+
+    def __init__(self, mem: Optional[MemorySystem] = None) -> None:
+        self.mem = mem
+
+    @property
+    def active(self) -> bool:
+        """True when accesses are being accounted."""
+        return self.mem is not None and self.mem.enabled
+
+    # -- plain accesses ------------------------------------------------------
+
+    def read(self, address: int, nbytes: int) -> None:
+        if self.mem is not None:
+            self.mem.read(address, nbytes)
+
+    def write(self, address: int, nbytes: int) -> None:
+        if self.mem is not None:
+            self.mem.write(address, nbytes)
+
+    def prefetch(self, address: int, nbytes: int) -> None:
+        if self.mem is not None:
+            self.mem.prefetch(address, nbytes)
+
+    def busy(self, cycles: float) -> None:
+        if self.mem is not None:
+            self.mem.busy(cycles)
+
+    # -- composite costs ------------------------------------------------------
+
+    def probe(self, address: int, nbytes: int = 4) -> None:
+        """One binary-search probe: load + compare + branch."""
+        if self.mem is None:
+            return
+        self.mem.read(address, nbytes)
+        self.mem.probe_penalty()
+
+    def scan(self, address: int, nbytes: int, per_line_busy: float = 2.0) -> None:
+        """Sequentially read a byte range, with light per-line busy work."""
+        if self.mem is None or nbytes <= 0:
+            return
+        self.mem.read(address, nbytes)
+        lines = len(self.mem.config.lines_touched(address, nbytes))
+        self.mem.busy(per_line_busy * lines)
+
+    def move(self, dst_address: int, src_address: int, nbytes: int) -> None:
+        """Copy ``nbytes`` from src to dst (entry shifting / node copying)."""
+        if self.mem is None or nbytes <= 0:
+            return
+        self.mem.read(src_address, nbytes)
+        self.mem.write(dst_address, nbytes)
+        lines = len(self.mem.config.lines_touched(dst_address, nbytes))
+        self.mem.busy(self.mem.cpu.copy_per_line * lines)
+
+    def visit_node(self) -> None:
+        """Per-node bookkeeping cost (header decode, bounds setup)."""
+        if self.mem is not None:
+            self.mem.busy(self.mem.cpu.node_visit)
+
+    def call_overhead(self) -> None:
+        """Per-operation dispatch cost."""
+        if self.mem is not None:
+            self.mem.busy(self.mem.cpu.function_call)
+
+
+#: Shared inactive tracer for untraced use.
+NULL_TRACER = Tracer(None)

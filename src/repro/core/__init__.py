@@ -1,0 +1,36 @@
+"""The paper's core contribution: fractal prefetching B+-Trees."""
+
+from .cache_first import CacheFirstFpTree, CfNode, CfPage
+from .disk_first import DiskFirstFpTree
+from .inpage import DiskFirstLayout, FpPage, InPageNode, LineAllocator
+from .jump_pointer import ExternalJumpPointerArray
+from .optimizer import (
+    CacheFirstWidths,
+    DiskFirstWidths,
+    MicroIndexWidths,
+    optimal_pbtree_width,
+    optimize_cache_first,
+    optimize_disk_first,
+    optimize_micro_index,
+    search_cost,
+)
+
+__all__ = [
+    "CacheFirstFpTree",
+    "CfNode",
+    "CfPage",
+    "DiskFirstFpTree",
+    "DiskFirstLayout",
+    "FpPage",
+    "InPageNode",
+    "LineAllocator",
+    "ExternalJumpPointerArray",
+    "CacheFirstWidths",
+    "DiskFirstWidths",
+    "MicroIndexWidths",
+    "optimal_pbtree_width",
+    "optimize_cache_first",
+    "optimize_disk_first",
+    "optimize_micro_index",
+    "search_cost",
+]

@@ -1,0 +1,137 @@
+"""External jump-pointer array (paper Section 3.3; design from Chen et al. 2001).
+
+Cache-first fpB+-Trees cannot rely on an internal jump-pointer array —
+consecutive leaf-parent nodes may sit in distinct overflow pages — so they
+maintain an *external* chunked list of all leaf page ids, in key order.
+Range scans walk it to prefetch leaf pages ahead of the scan position.
+
+The structure is a linked list of fixed-size chunks.  Inserting next to a
+full chunk splits it (leaving slack in both halves), so updates stay O(chunk)
+and page-id order is always maintained.  Leaf pages keep a *hint* (their
+chunk) so position lookups are O(1) amortized; hints are refreshed lazily on
+use, exactly as in the original design.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+__all__ = ["ExternalJumpPointerArray"]
+
+
+class _Chunk:
+    __slots__ = ("pids", "next", "prev")
+
+    def __init__(self) -> None:
+        self.pids: list[int] = []
+        self.next: Optional["_Chunk"] = None
+        self.prev: Optional["_Chunk"] = None
+
+
+class ExternalJumpPointerArray:
+    """Ordered collection of leaf page ids supporting mid-list insertion."""
+
+    def __init__(self, chunk_capacity: int = 64) -> None:
+        if chunk_capacity < 2:
+            raise ValueError("chunk capacity must be at least 2")
+        self.chunk_capacity = chunk_capacity
+        self._head: Optional[_Chunk] = None
+        self._hints: dict[int, _Chunk] = {}  # leaf pid -> chunk (may be stale)
+
+    def build(self, leaf_pids: Iterable[int]) -> None:
+        """(Re)build from an ordered pid sequence (bulkload)."""
+        self._head = None
+        self._hints.clear()
+        tail: Optional[_Chunk] = None
+        fill = max(1, self.chunk_capacity // 2)  # leave slack for insertions
+        chunk: Optional[_Chunk] = None
+        for pid in leaf_pids:
+            if chunk is None or len(chunk.pids) >= fill:
+                new = _Chunk()
+                if tail is None:
+                    self._head = new
+                else:
+                    tail.next = new
+                    new.prev = tail
+                tail = new
+                chunk = new
+            chunk.pids.append(pid)
+            self._hints[pid] = chunk
+
+    def _locate(self, pid: int) -> tuple[_Chunk, int]:
+        """Find pid's chunk and index, repairing a stale hint if needed."""
+        hinted = self._hints.get(pid)
+        if hinted is not None and pid in hinted.pids:
+            return hinted, hinted.pids.index(pid)
+        chunk = self._head
+        while chunk is not None:
+            if pid in chunk.pids:
+                self._hints[pid] = chunk
+                return chunk, chunk.pids.index(pid)
+            chunk = chunk.next
+        raise KeyError(f"leaf page {pid} is not in the jump-pointer array")
+
+    def insert_after(self, left_pid: int, new_pid: int) -> None:
+        """Insert a new leaf page immediately after an existing one."""
+        chunk, index = self._locate(left_pid)
+        if len(chunk.pids) >= self.chunk_capacity:
+            # Split the chunk; both halves get room.
+            sibling = _Chunk()
+            half = len(chunk.pids) // 2
+            sibling.pids = chunk.pids[half:]
+            chunk.pids = chunk.pids[:half]
+            sibling.next = chunk.next
+            sibling.prev = chunk
+            if chunk.next is not None:
+                chunk.next.prev = sibling
+            chunk.next = sibling
+            for pid in sibling.pids:
+                self._hints[pid] = sibling
+            if index >= half:
+                chunk, index = sibling, index - half
+        chunk.pids.insert(index + 1, new_pid)
+        self._hints[new_pid] = chunk
+
+    def append(self, pid: int) -> None:
+        """Add a leaf page at the end (tree growing to the right)."""
+        if self._head is None:
+            self.build([pid])
+            return
+        tail = self._head
+        while tail.next is not None:
+            tail = tail.next
+        if len(tail.pids) >= self.chunk_capacity:
+            new = _Chunk()
+            new.prev = tail
+            tail.next = new
+            tail = new
+        tail.pids.append(pid)
+        self._hints[pid] = tail
+
+    def remove(self, pid: int) -> None:
+        """Drop a leaf page (page deallocation)."""
+        chunk, index = self._locate(pid)
+        del chunk.pids[index]
+        self._hints.pop(pid, None)
+
+    def iter_from(self, start_pid: Optional[int] = None) -> Iterator[int]:
+        """Yield pids in order, starting at ``start_pid`` (or the beginning)."""
+        chunk = self._head
+        index = 0
+        if start_pid is not None:
+            chunk, index = self._locate(start_pid)
+        while chunk is not None:
+            yield from chunk.pids[index:]
+            chunk = chunk.next
+            index = 0
+
+    def to_list(self) -> list[int]:
+        return list(self.iter_from())
+
+    def __len__(self) -> int:
+        total = 0
+        chunk = self._head
+        while chunk is not None:
+            total += len(chunk.pids)
+            chunk = chunk.next
+        return total

@@ -1,0 +1,6 @@
+"""Mini DBMS: heap table + index-only scans with I/O prefetchers (Fig. 19)."""
+
+from .engine import MiniDbms, QueryStats
+from .table import DEFAULT_SCHEMA, HeapPage, HeapTable, RowSchema
+
+__all__ = ["MiniDbms", "QueryStats", "DEFAULT_SCHEMA", "HeapPage", "HeapTable", "RowSchema"]

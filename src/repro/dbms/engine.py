@@ -1,0 +1,201 @@
+"""Mini query engine standing in for DB2 in the Figure 19 experiment.
+
+Reproduces exactly what the paper's DB2 experiment exercises: an
+index-only ``SELECT COUNT(*)`` scan over a many-disk table, with
+
+* a configurable pool of **I/O prefetcher processes** (DB2's I/O servers)
+  consuming a shared prefetch-request queue fed from the index's
+  jump-pointer array, and
+* configurable **SMP parallelism**: the leaf-page range is partitioned into
+  contiguous segments scanned by parallel worker processes.
+
+Three execution modes mirror the paper's three curves: plain demand-paged
+scan ("no prefetch"), jump-pointer-array prefetching ("with prefetch"), and
+a preloaded buffer pool ("in memory" — the attainable floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..btree.context import TreeEnvironment
+from ..core.disk_first import DiskFirstFpTree
+from ..des import Environment, Store
+from ..storage.buffer import BufferPool
+from ..storage.config import DiskParameters, StorageConfig
+from ..storage.disk import DiskArray
+from ..storage.prefetch import AsyncPageReader
+from ..workloads.generator import KeyWorkload, build_mature_tree
+from .table import DEFAULT_SCHEMA, HeapTable, RowSchema
+
+__all__ = ["MiniDbms", "QueryStats"]
+
+
+@dataclass(frozen=True)
+class QueryStats:
+    """Outcome of one query execution."""
+
+    elapsed_us: float
+    pages_scanned: int
+    disk_reads: int
+    prefetches: int
+    row_count: int
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.elapsed_us / 1e6
+
+
+class MiniDbms:
+    """A one-table database with a (disk-first fpB+-Tree) index."""
+
+    def __init__(
+        self,
+        num_rows: int,
+        num_disks: int = 80,
+        page_size: int = 16 * 1024,
+        seed: int = 7,
+        schema: RowSchema = DEFAULT_SCHEMA,
+        mature: bool = True,
+        disk: Optional[DiskParameters] = None,
+        index_kind: str = "fp-disk",
+    ) -> None:
+        self.num_disks = num_disks
+        self.page_size = page_size
+        self.disk_params = disk if disk is not None else DiskParameters()
+        self.env = TreeEnvironment(page_size=page_size, buffer_pages=64)
+        self.store = self.env.store
+        self.table = HeapTable(self.store, schema)
+        self.index = self._make_index(index_kind, num_rows)
+
+        workload = KeyWorkload(num_rows, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        keys, __ = workload.bulkload_arrays()
+        for key in keys.tolist():
+            self.table.insert_row(int(key), int(rng.integers(0, 1 << 31)), int(key) % 997)
+        # Tuple ids are row positions; the index maps k1 -> tid.
+        self._workload = KeyWorkload(num_rows, seed=seed)
+        if mature:
+            # The paper's table is populated by concurrent inserts, so the
+            # index grows through page splits rather than pure bulkload.
+            index_workload = KeyWorkload(num_rows, seed=seed)
+            build_mature_tree(self.index, index_workload, bulk_fraction=0.7)
+        else:
+            self.index.bulkload(keys, workload.tids)
+
+    def _make_index(self, kind: str, num_rows: int):
+        """The database's index: any of the disk-resident structures.
+
+        ``count_star`` only needs ``leaf_page_ids`` and per-page entry
+        counts, so every tree kind works; the paper's DB2 experiment used
+        standard B+-Trees with jump-pointer arrays added, and the default
+        here is the disk-first fpB+-Tree the paper recommends.
+        """
+        from ..baselines.disk_btree import DiskBPlusTree
+        from ..baselines.micro_index import MicroIndexTree
+        from ..core.cache_first import CacheFirstFpTree
+
+        if kind == "fp-disk":
+            return DiskFirstFpTree(self.env)
+        if kind == "fp-cache":
+            return CacheFirstFpTree(self.env, num_keys_hint=num_rows)
+        if kind == "micro":
+            return MicroIndexTree(self.env)
+        if kind == "disk":
+            return DiskBPlusTree(self.env)
+        raise ValueError(f"unknown index kind {kind!r}")
+
+    def _entries_in_leaf_page(self, pid: int) -> int:
+        """Entry count of one leaf page, for any index kind."""
+        page = self.store.page(pid)
+        if hasattr(page, "total"):  # disk-first fp pages
+            return page.total
+        if hasattr(page, "count"):  # sorted-array pages
+            return page.count
+        return sum(node.count for node in page.nodes())  # cache-first pages
+
+    # -- query execution ------------------------------------------------------
+
+    def count_star(
+        self,
+        smp_degree: int = 1,
+        prefetchers: int = 0,
+        in_memory: bool = False,
+        page_process_us: float = 2000.0,
+        pool_frames: Optional[int] = None,
+    ) -> QueryStats:
+        """Execute ``SELECT COUNT(*)`` via an index-only leaf scan."""
+        if smp_degree < 1:
+            raise ValueError("smp_degree must be >= 1")
+        if prefetchers < 0:
+            raise ValueError("prefetchers must be >= 0")
+        leaf_pids = self.index.leaf_page_ids()
+        frames = pool_frames if pool_frames is not None else len(leaf_pids) + 64
+        config = StorageConfig(
+            page_size=self.page_size,
+            num_disks=self.num_disks,
+            buffer_pool_pages=frames,
+            disk=self.disk_params,
+        )
+        env = Environment()
+        disks = DiskArray(env, config)
+        pool = BufferPool(config, self.store)
+        reader = AsyncPageReader(env, disks, pool)
+        if in_memory:
+            reader.preload(leaf_pids)
+
+        # Partition the leaf range into contiguous SMP segments.
+        bounds = np.linspace(0, len(leaf_pids), smp_degree + 1).astype(int)
+        segments = [
+            leaf_pids[bounds[i] : bounds[i + 1]]
+            for i in range(smp_degree)
+            if bounds[i + 1] > bounds[i]
+        ]
+
+        row_count = 0
+        request_queue = Store(env)
+        window = 4 * max(1, prefetchers)
+
+        def prefetcher():
+            while True:
+                pid = yield request_queue.get()
+                event = reader.prefetch(pid)
+                if event is not None:
+                    yield event  # an I/O server is busy for the duration
+
+        def scanner(segment):
+            nonlocal row_count
+            issued = 0
+            for index, pid in enumerate(segment):
+                if prefetchers:
+                    while issued < min(index + window, len(segment)):
+                        request_queue.put(segment[issued])
+                        issued += 1
+                yield from reader.demand(pid)
+                row_count += self._entries_in_leaf_page(pid)
+                yield env.timeout(page_process_us)
+
+        if prefetchers and not in_memory:
+            for __ in range(prefetchers):
+                env.process(prefetcher())
+        scanners = [env.process(scanner(segment)) for segment in segments]
+        env.run(until=env.all_of(scanners))
+        return QueryStats(
+            elapsed_us=env.now,
+            pages_scanned=len(leaf_pids),
+            disk_reads=disks.total_reads,
+            prefetches=reader.prefetches,
+            row_count=row_count,
+        )
+
+    # -- point access (used by examples/tests) -------------------------------------
+
+    def lookup(self, key: int) -> Optional[tuple[int, int, int]]:
+        """Fetch a row's integer columns through the index."""
+        tid = self.index.search(key)
+        if tid is None:
+            return None
+        return self.table.fetch(int(tid) - 1)  # tids are 1-based in workloads

@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel (simpy-flavoured, dependency-free)."""
+
+from .core import AllOf, AnyOf, Environment, Event, Process, SimulationError, Timeout
+from .resources import PriorityStore, Request, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "PriorityStore",
+    "Request",
+    "Resource",
+    "Store",
+]

@@ -1,0 +1,343 @@
+"""Discrete-event simulation kernel.
+
+A small, dependency-free, simpy-flavoured event loop.  Simulation *processes*
+are Python generators that ``yield`` :class:`Event` objects; the
+:class:`Environment` resumes a process when the event it waits on is
+triggered.  Time is a float with no unit attached — the storage layer uses
+microseconds, but nothing in this module cares.
+
+Only the features the reproduction needs are implemented: timeouts, generic
+events, process joining, and ``AllOf``/``AnyOf`` condition events.  Process
+interruption is deliberately left out; the disk and DBMS models never cancel
+in-flight work.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. yielding twice)."""
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, becomes *triggered* when :meth:`succeed` or
+    :meth:`fail` is called, and is *processed* once the environment has run
+    its callbacks.  Callbacks receive the event itself.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (callbacks list is consumed)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (or exception, if it failed)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with an optional payload."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every process waiting on the event.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay=delay)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator, resuming it whenever the yielded event triggers.
+
+    A ``Process`` is itself an event: it triggers with the generator's return
+    value when the generator finishes, so processes can wait on each other
+    (``yield env.process(work())``).
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"process() requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume the process at the current simulation time.
+        bootstrap = Event(env)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield Event objects"
+            )
+        if target.processed:
+            # Already processed: resume immediately at the current time.
+            immediate = Event(self.env)
+            immediate.callbacks.append(self._resume)
+            immediate._ok = target.ok
+            immediate._value = target.value
+            immediate._triggered = True
+            self.env._schedule(immediate)
+        else:
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+
+
+class _ConditionEvent(Event):
+    """Base for AllOf / AnyOf."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._pending = 0
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("condition mixes events from different environments")
+        for event in self.events:
+            if event.processed:
+                self._observe(event)
+            else:
+                self._pending += 1
+                event.callbacks.append(self._observe)
+        if not self._triggered and self._pending == 0:
+            self._finalize()
+
+    def _observe(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _finalize(self) -> None:
+        raise NotImplementedError
+
+    def _values(self) -> list[Any]:
+        return [event.value for event in self.events if event.triggered and event.ok]
+
+
+class AllOf(_ConditionEvent):
+    """Triggers when every given event has triggered (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending <= 0 and all(e.triggered for e in self.events):
+            self._finalize()
+
+    def _finalize(self) -> None:
+        self.succeed(self._values())
+
+
+class AnyOf(_ConditionEvent):
+    """Triggers as soon as one of the given events triggers."""
+
+    __slots__ = ()
+
+    def _observe(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._finalize()
+
+    def _finalize(self) -> None:
+        self.succeed(self._values())
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._next_id = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when any of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- scheduling / execution --------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, self._next_id, event))
+        self._next_id += 1
+
+    def step(self) -> None:
+        """Process the single next event in the queue."""
+        when, __, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event.ok:
+            # A failed event nobody waited for: surface the error rather
+            # than letting it pass silently.
+            raise event.value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be a time (run up to that time), an :class:`Event`
+        (run until it triggers, returning its value), or ``None`` (run until
+        the queue drains).
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while self._queue:
+                if stop_event.processed:
+                    break
+                self.step()
+            if not stop_event.triggered:
+                raise SimulationError("run(until=event): queue drained before event fired")
+            if not stop_event.ok:
+                raise stop_event.value
+            return stop_event.value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"until={horizon} is in the past (now={self._now})")
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")

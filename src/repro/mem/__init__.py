@@ -1,0 +1,19 @@
+"""Memory-hierarchy simulator: caches, latencies, prefetch, cycle accounting."""
+
+from .cache import Cache
+from .config import DEFAULT_CPU, DEFAULT_MEMORY, CpuCostModel, MemoryConfig
+from .hierarchy import MemorySystem
+from .layout import AddressSpace, align_up
+from .stats import MemoryStats
+
+__all__ = [
+    "Cache",
+    "CpuCostModel",
+    "MemoryConfig",
+    "MemorySystem",
+    "MemoryStats",
+    "AddressSpace",
+    "align_up",
+    "DEFAULT_CPU",
+    "DEFAULT_MEMORY",
+]

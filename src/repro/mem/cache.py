@@ -1,0 +1,88 @@
+"""Set-associative cache model with LRU replacement.
+
+Caches operate on *line indices* (byte address // line size); the caller is
+responsible for the address-to-line mapping (see
+:meth:`repro.mem.config.MemoryConfig.line_of`).  Each set is a dict whose
+insertion order doubles as the LRU order — a hit re-inserts the line at the
+most-recently-used end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """One level of a set-associative cache, tracked at line granularity."""
+
+    def __init__(self, size_bytes: int, line_size: int, associativity: int) -> None:
+        if associativity < 1:
+            raise ValueError(f"associativity must be >= 1, got {associativity}")
+        if size_bytes % (line_size * associativity):
+            raise ValueError("cache size must be divisible by line_size * associativity")
+        self.size_bytes = size_bytes
+        self.line_size = line_size
+        self.associativity = associativity
+        self.num_sets = size_bytes // (line_size * associativity)
+        # One dict per set; keys are line indices, values unused (None).
+        self._sets: list[dict[int, None]] = [{} for __ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, line: int) -> dict[int, None]:
+        return self._sets[line % self.num_sets]
+
+    def contains(self, line: int) -> bool:
+        """Check residency without updating LRU order or counters."""
+        return line in self._set_of(line)
+
+    def lookup(self, line: int) -> bool:
+        """Probe the cache; updates LRU order and hit/miss counters."""
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            # Move to MRU position.
+            del cache_set[line]
+            cache_set[line] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, line: int) -> Optional[int]:
+        """Install a line, returning the evicted victim's line index, if any."""
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            del cache_set[line]
+            cache_set[line] = None
+            return None
+        victim = None
+        if len(cache_set) >= self.associativity:
+            victim = next(iter(cache_set))  # LRU = oldest insertion
+            del cache_set[victim]
+        cache_set[line] = None
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        """Drop a line if present; returns whether it was resident."""
+        cache_set = self._set_of(line)
+        if line in cache_set:
+            del cache_set[line]
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Empty the cache (counters are preserved)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    def resident_lines(self) -> int:
+        """Total number of lines currently cached."""
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache(size={self.size_bytes}, line={self.line_size}, "
+            f"assoc={self.associativity}, resident={self.resident_lines()})"
+        )

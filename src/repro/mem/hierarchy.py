@@ -1,0 +1,249 @@
+"""Two-level cache hierarchy with cycle accounting and software prefetch.
+
+:class:`MemorySystem` is the heart of the cache-performance methodology: the
+index implementations report every simulated memory reference (demand read,
+write, or prefetch) with its byte address and size, and this model advances a
+cycle clock, exactly as the paper's trace-driven processor simulator did.
+
+The latency model (all parameters from :class:`repro.mem.config.MemoryConfig`):
+
+* L1 hit — free (folded into the instruction-issue "busy" time).
+* L1 miss, L2 hit — ``l2_hit_latency`` stall cycles (15).
+* Full miss — the line is fetched over a shared memory bus that accepts one
+  access per ``bus_cycles_per_access`` cycles (10) and completes
+  ``memory_latency`` cycles (150) after it wins the bus.  A demand miss
+  stalls the processor until the line arrives.
+* Prefetch — wins the bus the same way but does **not** stall; the line is
+  recorded as *in flight* and a later demand access only stalls for the
+  remaining time.  Issuing ``w`` back-to-back prefetches therefore makes the
+  last line land after ``T1 + (w-1) * Tnext`` cycles — the paper's
+  Section 3.1.1 cost formula emerges from the bus model.
+
+Up to ``miss_handlers`` fetches may be outstanding; a prefetch beyond that
+stalls until the oldest completes (MSHR pressure), which is what bounds
+arbitrarily-deep jump-pointer-array prefetching.
+
+Measurement can be switched off (``enabled = False``) so that untimed phases
+(bulkload, tree building) run at full Python speed; the paper likewise
+measures only the operation phase after clearing the caches.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .cache import Cache
+from .config import DEFAULT_CPU, DEFAULT_MEMORY, CpuCostModel, MemoryConfig
+from .stats import MemoryStats
+
+__all__ = ["MemorySystem"]
+
+
+class MemorySystem:
+    """Cycle-accounting model of the processor's view of memory."""
+
+    def __init__(
+        self,
+        config: MemoryConfig = DEFAULT_MEMORY,
+        cpu: CpuCostModel = DEFAULT_CPU,
+    ) -> None:
+        self.config = config
+        self.cpu = cpu
+        self.l1 = Cache(config.l1_size, config.line_size, config.l1_assoc)
+        self.l2 = Cache(config.l2_size, config.line_size, config.l2_assoc)
+        self.stats = MemoryStats()
+        self.now: float = 0.0
+        self.enabled: bool = True
+        self._bus_free: float = 0.0
+        self._inflight: dict[int, float] = {}  # line -> completion time
+
+    # -- time charging -------------------------------------------------------
+
+    def busy(self, cycles: float) -> None:
+        """Charge instruction-execution (busy) time."""
+        if not self.enabled or cycles <= 0:
+            return
+        self.now += cycles
+        self.stats.busy_cycles += cycles
+
+    def other_stall(self, cycles: float) -> None:
+        """Charge non-memory stall time (branch mispredictions etc.)."""
+        if not self.enabled or cycles <= 0:
+            return
+        self.now += cycles
+        self.stats.other_stall_cycles += cycles
+
+    def probe_penalty(self) -> None:
+        """Charge the cost of one binary-search probe (compare + branch)."""
+        if not self.enabled:
+            return
+        compare, mispredict = self.cpu.probe_cost()
+        self.busy(compare)
+        self.other_stall(mispredict)
+
+    def _dcache_stall(self, cycles: float) -> None:
+        if cycles <= 0:
+            return
+        self.now += cycles
+        self.stats.dcache_stall_cycles += cycles
+
+    # -- demand accesses -------------------------------------------------------
+
+    def read(self, address: int, nbytes: int = 4) -> None:
+        """Simulate a demand load of ``nbytes`` at ``address``."""
+        if not self.enabled:
+            return
+        for line in self.config.lines_touched(address, nbytes):
+            self._touch(line)
+
+    def write(self, address: int, nbytes: int = 4) -> None:
+        """Simulate a store.
+
+        Stores retire through a store buffer and do not stall the pipeline:
+        a write to a non-resident line allocates it via the memory bus (like
+        a prefetch) and later *loads* of that line wait for it, but the
+        store itself only costs its issue slot.  This matters for page
+        splits, which write whole fresh pages: a blocking-store model would
+        double their cost.
+        """
+        if not self.enabled:
+            return
+        for line in self.config.lines_touched(address, nbytes):
+            self.stats.accesses += 1
+            self.busy(1)
+            if self.l1.lookup(line):
+                self.stats.l1_hits += 1
+                continue
+            if line in self._inflight:
+                continue
+            self._reserve_miss_handler()
+            if self.l2.contains(line):
+                self._inflight[line] = self.now + self.config.l2_hit_latency
+                continue
+            start = max(self.now, self._bus_free)
+            self._bus_free = start + self.config.bus_cycles_per_access
+            self._inflight[line] = start + self.config.memory_latency
+            self.stats.store_fetches += 1
+
+    def _touch(self, line: int) -> None:
+        self.stats.accesses += 1
+        if self.l1.lookup(line):
+            self.stats.l1_hits += 1
+            return
+        completion = self._inflight.pop(line, None)
+        if completion is not None:
+            self._dcache_stall(completion - self.now)
+            self.stats.prefetch_covered += 1
+            self._install(line)
+            return
+        if self.l2.lookup(line):
+            self.stats.l2_hits += 1
+            self._dcache_stall(self.config.l2_hit_latency)
+            self.l1.insert(line)
+            return
+        # Full miss: win the bus, wait for the line.
+        start = max(self.now, self._bus_free)
+        self._bus_free = start + self.config.bus_cycles_per_access
+        completion = start + self.config.memory_latency
+        self._dcache_stall(completion - self.now)
+        self.stats.memory_fetches += 1
+        self._install(line)
+        # Optional hardware next-line prefetcher (off by default; the
+        # paper's machine has none).
+        for ahead in range(1, self.config.hardware_prefetch_lines + 1):
+            neighbour = line + ahead
+            if self.l1.contains(neighbour) or neighbour in self._inflight:
+                continue
+            if self.l2.contains(neighbour):
+                self._inflight[neighbour] = self.now + self.config.l2_hit_latency
+                continue
+            start = max(self.now, self._bus_free)
+            self._bus_free = start + self.config.bus_cycles_per_access
+            self._inflight[neighbour] = start + self.config.memory_latency
+
+    def _install(self, line: int) -> None:
+        self.l1.insert(line)
+        self.l2.insert(line)
+
+    # -- prefetch ---------------------------------------------------------------
+
+    def prefetch(self, address: int, nbytes: int) -> None:
+        """Issue non-blocking prefetches for every line in the range."""
+        if not self.enabled:
+            return
+        for line in self.config.lines_touched(address, nbytes):
+            self._prefetch_line(line)
+
+    def _prefetch_line(self, line: int) -> None:
+        self.busy(self.cpu.prefetch_issue)
+        self.stats.prefetches_issued += 1
+        if self.l1.contains(line) or line in self._inflight:
+            return
+        self._reserve_miss_handler()
+        if self.l2.contains(line):
+            # Satisfied from L2 without using the memory bus.
+            self._inflight[line] = self.now + self.config.l2_hit_latency
+            return
+        start = max(self.now, self._bus_free)
+        self._bus_free = start + self.config.bus_cycles_per_access
+        self._inflight[line] = start + self.config.memory_latency
+
+    def _reserve_miss_handler(self) -> None:
+        """Stall until an MSHR is free, retiring landed prefetches."""
+        landed = [l for l, t in self._inflight.items() if t <= self.now]
+        for line in landed:
+            del self._inflight[line]
+            self._install(line)
+        while len(self._inflight) >= self.config.miss_handlers:
+            earliest_line = min(self._inflight, key=self._inflight.get)
+            completion = self._inflight.pop(earliest_line)
+            self._dcache_stall(completion - self.now)
+            self._install(earliest_line)
+
+    # -- control ------------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Flush both cache levels and any in-flight fetches."""
+        self.l1.clear()
+        self.l2.clear()
+        self._inflight.clear()
+        self._bus_free = self.now
+
+    def reset(self) -> None:
+        """Clear caches, zero the clock and all statistics."""
+        self.clear_caches()
+        self.now = 0.0
+        self._bus_free = 0.0
+        self.stats = MemoryStats()
+
+    @contextmanager
+    def paused(self) -> Iterator[None]:
+        """Temporarily disable measurement (for untimed build phases)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = previous
+
+    @contextmanager
+    def measure(self) -> Iterator[MemoryStats]:
+        """Measure a phase; yields a stats object updated on exit."""
+        before = self.stats.copy()
+        phase = MemoryStats()
+        yield phase
+        delta = self.stats.minus(before)
+        for name in (
+            "busy_cycles",
+            "dcache_stall_cycles",
+            "other_stall_cycles",
+            "l1_hits",
+            "l2_hits",
+            "memory_fetches",
+            "store_fetches",
+            "prefetches_issued",
+            "prefetch_covered",
+            "accesses",
+        ):
+            setattr(phase, name, getattr(delta, name))

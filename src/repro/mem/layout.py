@@ -1,0 +1,47 @@
+"""Simulated virtual-address-space management.
+
+The cache simulator works on addresses, so every simulated structure (buffer
+pool frames, in-memory tree nodes, jump-pointer array chunks, ...) must live
+somewhere in a shared address space.  :class:`AddressSpace` is a simple bump
+allocator handing out aligned, non-overlapping regions; callers that need
+finer-grained reuse (e.g. a node pool) sub-allocate within their region.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AddressSpace", "align_up"]
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a positive power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class AddressSpace:
+    """Bump allocator over a simulated virtual address space."""
+
+    def __init__(self, base: int = 1 << 20) -> None:
+        if base < 0:
+            raise ValueError("base address must be non-negative")
+        self._next = base
+        self._regions: list[tuple[str, int, int]] = []
+
+    def alloc(self, nbytes: int, alignment: int = 64, label: str = "") -> int:
+        """Reserve ``nbytes`` aligned to ``alignment``; returns the base address."""
+        if nbytes <= 0:
+            raise ValueError(f"region size must be positive, got {nbytes}")
+        base = align_up(self._next, alignment)
+        self._next = base + nbytes
+        self._regions.append((label, base, nbytes))
+        return base
+
+    @property
+    def high_water(self) -> int:
+        """One past the highest allocated address."""
+        return self._next
+
+    def regions(self) -> list[tuple[str, int, int]]:
+        """(label, base, size) for every allocated region, in order."""
+        return list(self._regions)

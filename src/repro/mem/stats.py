@@ -1,0 +1,87 @@
+"""Execution-time accounting for the memory-hierarchy simulator.
+
+Mirrors the paper's three-way breakdown (Figures 3(b) et al.): *busy* time,
+*data-cache stalls*, and *other stalls* (branch mispredictions and similar).
+All values are in simulated CPU cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["MemoryStats"]
+
+
+@dataclass
+class MemoryStats:
+    """Mutable accumulator of cycles and event counts."""
+
+    busy_cycles: float = 0.0
+    dcache_stall_cycles: float = 0.0
+    other_stall_cycles: float = 0.0
+
+    l1_hits: int = 0
+    l2_hits: int = 0
+    memory_fetches: int = 0  # demand fetches that went to main memory
+    store_fetches: int = 0  # write-allocate fetches (non-blocking)
+    prefetches_issued: int = 0
+    prefetch_covered: int = 0  # demand accesses satisfied by an in-flight/landed prefetch
+    accesses: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        """Total simulated execution time."""
+        return self.busy_cycles + self.dcache_stall_cycles + self.other_stall_cycles
+
+    def breakdown(self) -> dict[str, float]:
+        """Fractions of total time per component (empty total -> zeros)."""
+        total = self.total_cycles
+        if total <= 0:
+            return {"busy": 0.0, "dcache_stalls": 0.0, "other_stalls": 0.0}
+        return {
+            "busy": self.busy_cycles / total,
+            "dcache_stalls": self.dcache_stall_cycles / total,
+            "other_stalls": self.other_stall_cycles / total,
+        }
+
+    def copy(self) -> "MemoryStats":
+        """Snapshot of the current values."""
+        snap = MemoryStats()
+        for f in fields(self):
+            if f.name == "extra":
+                snap.extra = dict(self.extra)
+            else:
+                setattr(snap, f.name, getattr(self, f.name))
+        return snap
+
+    def minus(self, baseline: "MemoryStats") -> "MemoryStats":
+        """Difference of two snapshots (for measuring a phase)."""
+        delta = MemoryStats()
+        for f in fields(self):
+            if f.name == "extra":
+                continue
+            setattr(delta, f.name, getattr(self, f.name) - getattr(baseline, f.name))
+        return delta
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for f in fields(self):
+            if f.name == "extra":
+                self.extra = {}
+            elif f.type == "int":
+                setattr(self, f.name, 0)
+            else:
+                setattr(self, f.name, 0.0)
+
+    def __str__(self) -> str:
+        pct = self.breakdown()
+        return (
+            f"total={self.total_cycles:.0f}cy "
+            f"(busy {pct['busy']:.0%}, dcache {pct['dcache_stalls']:.0%}, "
+            f"other {pct['other_stalls']:.0%}); "
+            f"L1 hits {self.l1_hits}, L2 hits {self.l2_hits}, "
+            f"mem fetches {self.memory_fetches}, "
+            f"prefetches {self.prefetches_issued} (covered {self.prefetch_covered})"
+        )

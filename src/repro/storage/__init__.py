@@ -1,0 +1,17 @@
+"""Storage substrate: page store, CLOCK buffer pool, DES disk array, prefetch."""
+
+from .buffer import BufferPool
+from .config import DiskParameters, StorageConfig
+from .disk import Disk, DiskArray
+from .pager import PageStore
+from .prefetch import AsyncPageReader
+
+__all__ = [
+    "BufferPool",
+    "DiskParameters",
+    "StorageConfig",
+    "Disk",
+    "DiskArray",
+    "PageStore",
+    "AsyncPageReader",
+]

@@ -1,0 +1,68 @@
+"""Storage-layer configuration.
+
+Disk timing defaults approximate the paper's range-scan platform (Section
+4.3.2): an SGI Origin 200 with Seagate Cheetah 4LP SCSI disks — 40 MB/s
+transfer, ~1 ms track-to-track seeks, a few ms of seek + rotational delay
+for random accesses, and 16 KB pages matching the file-system block size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DiskParameters", "StorageConfig"]
+
+
+@dataclass(frozen=True)
+class DiskParameters:
+    """Per-disk timing model (all times in microseconds)."""
+
+    seek_time_us: float = 5000.0  # average seek for a random access
+    rotational_latency_us: float = 3000.0  # 10k RPM -> ~3 ms average
+    track_to_track_us: float = 1000.0  # near-sequential repositioning
+    transfer_rate_bytes_per_us: float = 40.0  # 40 MB/s sustained
+    sequential_window_blocks: int = 16  # |Δblock| below this counts as "near"
+
+    def service_time_us(self, previous_block: int, block: int, nbytes: int) -> float:
+        """Time to position and transfer ``nbytes`` at ``block``.
+
+        A short hop from the previous block (within
+        ``sequential_window_blocks``) pays only a track-to-track
+        repositioning; anything farther pays the full seek plus average
+        rotational delay.
+        """
+        transfer = nbytes / self.transfer_rate_bytes_per_us
+        if previous_block < 0:
+            return self.seek_time_us + self.rotational_latency_us + transfer
+        distance = abs(block - previous_block)
+        if distance == 0:
+            return transfer
+        if distance <= self.sequential_window_blocks:
+            return self.track_to_track_us + transfer
+        return self.seek_time_us + self.rotational_latency_us + transfer
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Disk array and buffer-pool geometry."""
+
+    page_size: int = 16 * 1024
+    num_disks: int = 1
+    buffer_pool_pages: int = 4096
+    disk: DiskParameters = DiskParameters()
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise ValueError(f"page_size must be a positive power of two, got {self.page_size}")
+        if self.num_disks < 1:
+            raise ValueError(f"num_disks must be >= 1, got {self.num_disks}")
+        if self.buffer_pool_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+
+    def disk_of(self, page_id: int) -> int:
+        """Disk holding ``page_id`` (round-robin striping)."""
+        return page_id % self.num_disks
+
+    def block_of(self, page_id: int) -> int:
+        """Block position of ``page_id`` on its disk."""
+        return page_id // self.num_disks

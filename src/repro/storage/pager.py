@@ -1,0 +1,101 @@
+"""Page store: page-id allocation and the simulated on-disk image.
+
+The :class:`PageStore` owns the mapping from page ids to page objects.  A
+"page object" is whatever node/page structure an index defines (see
+:mod:`repro.btree`); the store does not interpret it.  Page ids are dense
+integers so that striding them across a disk array is trivial, and freed ids
+are recycled so space-overhead measurements (paper Figure 16) reflect real
+page counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+__all__ = ["PageStore"]
+
+
+class PageStore:
+    """Allocator and container for disk pages."""
+
+    def __init__(self, page_size: int) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self._pages: dict[int, Any] = {}
+        self._free_ids: list[int] = []
+        self._next_id = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def allocate(self, page: Any) -> int:
+        """Store a new page, returning its page id."""
+        if self._free_ids:
+            page_id = self._free_ids.pop()
+        else:
+            page_id = self._next_id
+            self._next_id += 1
+        self._pages[page_id] = page
+        self.allocations += 1
+        return page_id
+
+    def free(self, page_id: int) -> None:
+        """Release a page id for reuse."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        del self._pages[page_id]
+        self._free_ids.append(page_id)
+        self.frees += 1
+
+    def place(self, page_id: int, page: Any) -> None:
+        """Install a page under a specific id (used when loading an image)."""
+        if page_id < 0:
+            raise ValueError(f"invalid page id {page_id}")
+        if page_id in self._pages:
+            raise KeyError(f"page {page_id} is already allocated")
+        self._pages[page_id] = page
+        self._next_id = max(self._next_id, page_id + 1)
+        self.allocations += 1
+
+    def rebuild_free_list(self) -> None:
+        """Recompute recyclable ids after placing pages at explicit ids."""
+        self._free_ids = [
+            page_id for page_id in range(self._next_id) if page_id not in self._pages
+        ]
+
+    def page(self, page_id: int) -> Any:
+        """Fetch the page object for ``page_id``."""
+        try:
+            return self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} is not allocated") from None
+
+    def replace(self, page_id: int, page: Any) -> None:
+        """Overwrite the page object stored under an existing id."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._pages[page_id] = page
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def num_pages(self) -> int:
+        """Number of live pages (the Figure 16 space metric)."""
+        return len(self._pages)
+
+    @property
+    def total_bytes(self) -> int:
+        """Live pages times page size."""
+        return len(self._pages) * self.page_size
+
+    def page_ids(self) -> Iterator[int]:
+        """Iterate over live page ids (unspecified order)."""
+        return iter(self._pages)
+
+    def max_page_id(self) -> Optional[int]:
+        """Largest id ever allocated, or None if none were."""
+        return self._next_id - 1 if self._next_id else None

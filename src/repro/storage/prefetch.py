@@ -1,0 +1,77 @@
+"""Asynchronous page reading with prefetch, over the DES disk array.
+
+:class:`AsyncPageReader` is the glue between scan processes and the disk
+array: demand reads block the calling process until the page is resident,
+while prefetches are fire-and-forget.  Duplicate requests for an in-flight
+page coalesce onto the same I/O — a scanner that demands a page already being
+prefetched simply waits for the remaining time, which is precisely how
+jump-pointer-array prefetching converts disk latency into overlap (paper
+Sections 2.2 and 4.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..des import Environment, Event
+from .buffer import BufferPool
+from .disk import DiskArray
+
+__all__ = ["AsyncPageReader"]
+
+
+class AsyncPageReader:
+    """Coordinates demand reads and prefetches against one buffer pool."""
+
+    def __init__(self, env: Environment, disks: DiskArray, pool: BufferPool) -> None:
+        self.env = env
+        self.disks = disks
+        self.pool = pool
+        self._inflight: dict[int, Event] = {}
+        self.demand_hits = 0
+        self.demand_reads = 0
+        self.demand_covered = 0  # demand found the page already in flight
+        self.prefetches = 0
+
+    @property
+    def outstanding(self) -> int:
+        """Number of page reads currently in flight."""
+        return len(self._inflight)
+
+    def demand(self, page_id: int):
+        """Process generator: block until ``page_id`` is resident."""
+        if self.pool.contains(page_id):
+            self.demand_hits += 1
+            self.pool.access(page_id)  # refresh CLOCK reference bit
+            return
+        event = self._inflight.get(page_id)
+        if event is None:
+            event = self._start_read(page_id)
+            self.demand_reads += 1
+        else:
+            self.demand_covered += 1
+        yield event
+
+    def prefetch(self, page_id: int) -> Optional[Event]:
+        """Start a non-blocking read; returns its event, or None if unneeded."""
+        if self.pool.contains(page_id) or page_id in self._inflight:
+            return None
+        self.prefetches += 1
+        return self._start_read(page_id)
+
+    def _start_read(self, page_id: int) -> Event:
+        event = self.disks.read_page(page_id)
+        self._inflight[page_id] = event
+        event.callbacks.append(lambda __: self._complete(page_id))
+        return event
+
+    def _complete(self, page_id: int) -> None:
+        self._inflight.pop(page_id, None)
+        if not self.pool.contains(page_id):
+            self.pool.access(page_id)
+
+    def preload(self, page_ids) -> None:
+        """Instantly mark pages resident (the 'in memory' baseline curves)."""
+        for page_id in page_ids:
+            if not self.pool.contains(page_id):
+                self.pool.access(page_id)

@@ -1,0 +1,5 @@
+"""Reproducible workload generators."""
+
+from .generator import KeyWorkload, build_mature_tree
+
+__all__ = ["KeyWorkload", "build_mature_tree"]

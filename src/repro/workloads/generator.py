@@ -1,0 +1,105 @@
+"""Deterministic workload generation for the experiments.
+
+All experiments in the paper follow the same recipe: bulkload N random keys
+at some fill factor, optionally insert more keys to "mature" the tree, then
+run a batch of random searches / insertions / deletions / range scans.
+:class:`KeyWorkload` packages that recipe with a fixed seed so every index
+sees byte-identical inputs and reruns are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..btree.base import Index
+from ..btree.keys import KEY4, KeySpec
+
+__all__ = ["KeyWorkload", "build_mature_tree"]
+
+
+class KeyWorkload:
+    """A reproducible universe of keys plus query generators."""
+
+    def __init__(
+        self,
+        num_keys: int,
+        seed: int = 42,
+        keyspec: KeySpec = KEY4,
+        max_gap: int = 8,
+    ) -> None:
+        if num_keys < 1:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = num_keys
+        self.keyspec = keyspec
+        self.rng = np.random.default_rng(seed)
+        # Sorted, unique, randomly-spaced keys via cumulative positive gaps.
+        gaps = self.rng.integers(2, max(3, max_gap), size=num_keys, dtype=np.int64)
+        keys = np.cumsum(gaps) + 10
+        if int(keys[-1]) > keyspec.max_key:
+            raise ValueError("key universe exceeds the key width")
+        self.keys = keys.astype(keyspec.dtype)
+        self.tids = (np.arange(num_keys, dtype=np.uint32) + 1)
+
+    # -- building --------------------------------------------------------------
+
+    def bulkload_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(keys, tids) for a full bulkload."""
+        return self.keys, self.tids
+
+    def split_for_maturity(self, bulk_fraction: float = 0.9):
+        """Random split into (bulkload keys/tids, insert keys/tids).
+
+        Mirrors the paper's mature-tree setup (Section 4.3.2): bulkload 90%
+        of the keys, then insert the remaining 10% in random order.
+        """
+        if not 0.0 < bulk_fraction < 1.0:
+            raise ValueError("bulk_fraction must be in (0, 1)")
+        n_bulk = max(1, int(self.num_keys * bulk_fraction))
+        chosen = np.sort(self.rng.choice(self.num_keys, size=n_bulk, replace=False))
+        mask = np.zeros(self.num_keys, dtype=bool)
+        mask[chosen] = True
+        bulk_keys, bulk_tids = self.keys[mask], self.tids[mask]
+        rest_keys, rest_tids = self.keys[~mask], self.tids[~mask]
+        order = self.rng.permutation(len(rest_keys))
+        return bulk_keys, bulk_tids, rest_keys[order], rest_tids[order]
+
+    # -- queries ---------------------------------------------------------------------
+
+    def search_keys(self, count: int, hit_ratio: float = 1.0) -> np.ndarray:
+        """Random existing keys (plus misses if hit_ratio < 1)."""
+        picks = self.rng.choice(self.keys, size=count).astype(np.int64)
+        if hit_ratio < 1.0:
+            misses = self.rng.random(count) >= hit_ratio
+            picks[misses] += 1  # gaps are >= 2, so key+1 never exists
+        return picks
+
+    def insert_keys(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Random new keys (in existing gaps) with fresh tuple ids."""
+        indices = self.rng.choice(self.num_keys, size=count)
+        new_keys = self.keys[indices].astype(np.int64) + 1
+        new_tids = np.arange(count, dtype=np.uint32) + self.num_keys + 1
+        return new_keys, new_tids
+
+    def delete_keys(self, count: int) -> np.ndarray:
+        """Random distinct existing keys to delete."""
+        count = min(count, self.num_keys)
+        indices = self.rng.choice(self.num_keys, size=count, replace=False)
+        return self.keys[indices].astype(np.int64)
+
+    def range_scans(self, count: int, span: int) -> list[tuple[int, int]]:
+        """Random ranges each covering exactly ``span`` stored entries."""
+        if span < 1 or span > self.num_keys:
+            raise ValueError(f"span {span} out of range")
+        ranges = []
+        for __ in range(count):
+            start = int(self.rng.integers(0, self.num_keys - span + 1))
+            ranges.append((int(self.keys[start]), int(self.keys[start + span - 1])))
+        return ranges
+
+
+def build_mature_tree(index: Index, workload: KeyWorkload, bulk_fraction: float = 0.9) -> None:
+    """Bulkload most keys, then insert the rest (the paper's mature trees)."""
+    bulk_keys, bulk_tids, rest_keys, rest_tids = workload.split_for_maturity(bulk_fraction)
+    index.bulkload(bulk_keys, bulk_tids)
+    for key, tid in zip(rest_keys.tolist(), rest_tids.tolist()):
+        index.insert(int(key), int(tid))

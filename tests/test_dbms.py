@@ -1,0 +1,118 @@
+"""Tests for the mini DBMS (heap table + index-only scans)."""
+
+import pytest
+
+from repro.dbms import DEFAULT_SCHEMA, HeapTable, MiniDbms
+from repro.storage import PageStore
+
+
+class TestHeapTable:
+    def test_schema_row_size_matches_paper(self):
+        # (int, int, char(20), int, char(512)) = 544 bytes.
+        assert DEFAULT_SCHEMA.row_bytes == 544
+
+    def test_insert_and_fetch(self):
+        store = PageStore(16384)
+        table = HeapTable(store)
+        tids = [table.insert_row(k, k * 2, k * 3) for k in range(100)]
+        assert table.fetch(tids[42]) == (42, 84, 126)
+        assert table.num_rows == 100
+
+    def test_rows_per_page(self):
+        store = PageStore(16384)
+        table = HeapTable(store)
+        assert table.rows_per_page == (16384 - 64) // 544
+
+    def test_pages_allocated_on_demand(self):
+        store = PageStore(16384)
+        table = HeapTable(store)
+        per_page = table.rows_per_page
+        for k in range(per_page + 1):
+            table.insert_row(k, 0, 0)
+        assert table.num_pages == 2
+
+    def test_fetch_invalid_tid(self):
+        store = PageStore(16384)
+        table = HeapTable(store)
+        table.insert_row(1, 2, 3)
+        with pytest.raises(KeyError):
+            table.fetch(9999)
+
+    def test_rows_iterator_matches_inserts(self):
+        store = PageStore(16384)
+        table = HeapTable(store)
+        for k in range(50):
+            table.insert_row(k, k + 1, k + 2)
+        rows = list(table.rows())
+        assert len(rows) == 50
+        assert rows[10] == (10, 10, 11, 12)
+
+
+class TestMiniDbms:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return MiniDbms(num_rows=20_000, num_disks=8, seed=3)
+
+    def test_count_star_counts_every_row(self, db):
+        stats = db.count_star()
+        assert stats.row_count == 20_000
+
+    def test_in_memory_floor_is_fastest(self, db):
+        plain = db.count_star(prefetchers=0)
+        warm = db.count_star(in_memory=True)
+        assert warm.elapsed_us < plain.elapsed_us
+        assert warm.disk_reads == 0
+
+    def test_prefetchers_speed_up_scan(self, db):
+        plain = db.count_star(prefetchers=0)
+        fetched = db.count_star(prefetchers=8)
+        assert fetched.elapsed_us < plain.elapsed_us
+        assert fetched.row_count == plain.row_count
+
+    def test_more_prefetchers_monotone_improvement(self, db):
+        times = [db.count_star(prefetchers=n).elapsed_us for n in (1, 4, 8)]
+        assert times[2] <= times[0]
+
+    def test_smp_parallelism_speeds_up(self, db):
+        serial = db.count_star(smp_degree=1, prefetchers=4)
+        parallel = db.count_star(smp_degree=4, prefetchers=4)
+        assert parallel.elapsed_us < serial.elapsed_us
+        assert parallel.row_count == serial.row_count
+
+    def test_prefetch_approaches_in_memory(self, db):
+        warm = db.count_star(in_memory=True, smp_degree=2)
+        fetched = db.count_star(prefetchers=12, smp_degree=2)
+        plain = db.count_star(prefetchers=0, smp_degree=2)
+        # The prefetched scan lands much closer to the floor than to plain.
+        assert fetched.elapsed_us - warm.elapsed_us < (plain.elapsed_us - warm.elapsed_us) / 2
+
+    def test_lookup_through_index(self, db):
+        workload_key = int(db._workload.keys[123])
+        row = db.lookup(workload_key)
+        assert row is not None
+        assert row[0] == workload_key
+
+    def test_invalid_parameters(self, db):
+        with pytest.raises(ValueError):
+            db.count_star(smp_degree=0)
+        with pytest.raises(ValueError):
+            db.count_star(prefetchers=-1)
+
+
+class TestIndexKinds:
+    @pytest.mark.parametrize("kind", ["disk", "micro", "fp-disk", "fp-cache"])
+    def test_count_star_correct_with_any_index(self, kind):
+        db = MiniDbms(num_rows=5000, num_disks=4, seed=2, mature=False, index_kind=kind)
+        stats = db.count_star(smp_degree=2, prefetchers=2)
+        assert stats.row_count == 5000
+
+    def test_standard_btree_also_benefits_from_prefetchers(self):
+        """The paper's DB2 experiment used standard B+-Trees (Section 4.3.3)."""
+        db = MiniDbms(num_rows=20_000, num_disks=8, seed=2, index_kind="disk", page_size=4096)
+        plain = db.count_star(prefetchers=0)
+        fetched = db.count_star(prefetchers=8)
+        assert fetched.elapsed_us < plain.elapsed_us
+
+    def test_unknown_index_kind_rejected(self):
+        with pytest.raises(ValueError):
+            MiniDbms(num_rows=100, index_kind="btree-9000")

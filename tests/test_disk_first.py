@@ -1,0 +1,263 @@
+"""Tests for the disk-first fpB+-Tree."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DiskBPlusTree
+from repro.btree.context import TreeEnvironment
+from repro.core import DiskFirstFpTree, LineAllocator, optimize_disk_first
+from repro.core.inpage import LEAF, NONLEAF
+from repro.mem import MemorySystem
+
+from index_contract import IndexContract, dense_keys
+
+
+class TestDiskFirstContract(IndexContract):
+    def make_index(self, **kwargs):
+        kwargs.setdefault("page_size", 1024)
+        kwargs.setdefault("buffer_pages", 512)
+        return DiskFirstFpTree(TreeEnvironment(**kwargs))
+
+
+class TestLineAllocator:
+    def test_alloc_and_free(self):
+        alloc = LineAllocator(16)
+        line = alloc.alloc(3)
+        assert line == 1  # line 0 reserved for the header
+        assert alloc.free_lines == 16 - 1 - 3
+        alloc.free(line, 3)
+        assert alloc.free_lines == 15
+
+    def test_contiguity_requirement(self):
+        alloc = LineAllocator(8)
+        a = alloc.alloc(3)  # lines 1-3
+        b = alloc.alloc(3)  # lines 4-6
+        assert a is not None and b is not None
+        alloc.free(a, 3)
+        # 4 contiguous lines are not available (1-3 free, 7 free).
+        assert alloc.alloc(4) is None
+        assert alloc.alloc(3) is not None
+
+    def test_hint_is_respected_when_possible(self):
+        alloc = LineAllocator(32)
+        line = alloc.alloc(2, hint=10)
+        assert line == 10
+
+    def test_hint_wraps_around(self):
+        alloc = LineAllocator(8)
+        line = alloc.alloc(3, hint=7)  # no room at 7; wraps to 1
+        assert line == 1
+
+    def test_double_free_rejected(self):
+        alloc = LineAllocator(8)
+        line = alloc.alloc(2)
+        alloc.free(line, 2)
+        with pytest.raises(ValueError):
+            alloc.free(line, 2)
+
+    def test_cannot_free_header(self):
+        alloc = LineAllocator(8)
+        with pytest.raises(ValueError):
+            alloc.free(0, 1)
+
+    def test_clear(self):
+        alloc = LineAllocator(8)
+        alloc.alloc(5)
+        alloc.clear()
+        assert alloc.free_lines == 7
+
+
+class TestDiskFirstStructure:
+    def make_tree(self, page_size=1024, **kw):
+        return DiskFirstFpTree(TreeEnvironment(page_size=page_size, buffer_pages=512, **kw))
+
+    def test_page_fanout_matches_optimizer(self):
+        for page_size in (4096, 8192, 16384):
+            widths = optimize_disk_first(page_size)
+            tree = DiskFirstFpTree(TreeEnvironment(page_size=page_size, buffer_pages=256))
+            assert tree.layout.page_fanout == widths.page_fanout
+
+    def test_bulkload_builds_inpage_trees(self):
+        tree = self.make_tree(page_size=4096)
+        n = 5 * tree.layout.page_fanout
+        keys = dense_keys(n)
+        tree.bulkload(keys, keys)
+        root_page = tree.store.page(tree.root_pid)
+        assert root_page.level >= 1
+        # Leaf pages must have multi-node in-page trees.
+        leaf = tree.store.page(tree.first_leaf_pid)
+        kinds = {node.kind for node in leaf.nodes.values()}
+        assert kinds == {LEAF, NONLEAF}
+        tree.validate()
+
+    def test_leaf_page_entries_spread_evenly(self):
+        tree = self.make_tree(page_size=4096)
+        keys = dense_keys(tree.layout.page_fanout)  # exactly one full page
+        tree.bulkload(keys, keys, fill=0.7)
+        for pid in tree.leaf_page_ids():
+            page = tree.store.page(pid)
+            counts = [n.count for n in page.leaf_nodes_in_order() if n.count]
+            assert max(counts) - min(counts) <= 1
+
+    def test_interior_pages_packed(self):
+        tree = self.make_tree(page_size=1024)
+        keys = dense_keys(30000)
+        tree.bulkload(keys, keys)
+        root_page = tree.store.page(tree.root_pid)
+        nodes = root_page.leaf_nodes_in_order()
+        # All but the last in-page leaf node of a packed page are full.
+        for node in nodes[:-1]:
+            assert node.count == node.capacity
+
+    def test_inserts_into_fresh_tree_split_nodes_not_pages(self):
+        """Growing from empty: in-page node splits happen long before any
+        page split (free line slots absorb growth)."""
+        tree = self.make_tree(page_size=4096)
+        for key in range(200):
+            tree.insert(key, key)
+        assert tree.node_splits > 0
+        assert tree.page_splits == 0
+        tree.validate()
+
+    def test_bulkloaded_leaf_pages_reorganize_not_node_split(self):
+        """Bulkload allocates all in-page leaf nodes, so a full node in a
+        non-full page reorganizes instead of splitting (Section 3.1.2)."""
+        tree = self.make_tree(page_size=4096)
+        keys = dense_keys(2 * tree.layout.page_fanout)
+        tree.bulkload(keys, keys, fill=0.7)
+        for key in range(2, 3000, 6):
+            tree.insert(key, key)
+        assert tree.reorganizations > 0
+        tree.validate()
+
+    def test_full_tree_insertion_triggers_page_splits(self):
+        tree = self.make_tree(page_size=1024)
+        keys = dense_keys(3000)
+        tree.bulkload(keys, keys, fill=1.0)
+        rng = np.random.default_rng(3)
+        for key in rng.integers(1, 9000, size=500):
+            tree.insert(int(key), 1)
+        assert tree.page_splits > 0
+        tree.validate()
+
+    def test_reorganize_avoids_page_split(self):
+        """A page with free fan-out but fragmented lines reorganizes in place."""
+        tree = self.make_tree(page_size=4096)
+        keys = dense_keys(tree.layout.page_fanout // 2)
+        tree.bulkload(keys, keys, fill=0.5)
+        rng = np.random.default_rng(9)
+        pages_before = tree.num_pages
+        # Hammer one region to split nodes until lines run out.
+        for key in sorted(rng.choice(np.arange(2, keys[-1]), size=600, replace=False)):
+            key = int(key)
+            if (key - 10) % 3 != 0:
+                tree.insert(key, key)
+        tree.validate()
+
+    def test_jump_pointer_array_lists_all_leaves(self):
+        tree = self.make_tree(page_size=1024)
+        keys = dense_keys(20000)
+        tree.bulkload(keys, keys)
+        assert tree.height >= 2
+        assert tree.leaf_pids_via_jump_pointers() == tree.leaf_page_ids()
+
+    def test_jump_pointers_survive_updates(self):
+        tree = self.make_tree(page_size=1024)
+        keys = dense_keys(5000)
+        tree.bulkload(keys, keys)
+        rng = np.random.default_rng(4)
+        for key in rng.integers(1, 20000, size=800):
+            tree.insert(int(key), 2)
+        assert tree.leaf_pids_via_jump_pointers() == tree.leaf_page_ids()
+        tree.validate()
+
+    def test_root_placement_varies_when_pages_have_slack(self):
+        # Sparse pages have line-slot slack, so top-level node placement is
+        # staggered by page id to avoid cache conflicts (Section 4.1).
+        trees = []
+        lines = set()
+        for __ in range(6):
+            tree = self.make_tree(page_size=4096)
+            for key in range(40):
+                tree.insert(key, key)
+            # Force a rebuild so the stagger logic runs with this page id.
+            pid = tree.root_pid
+            page = tree.store.page(pid)
+            import numpy as np
+
+            keys, ptrs = tree._collect_entries(page)
+            tree._rebuild_page(pid, page, keys, ptrs, spread=True)
+            lines.add((pid, page.root_line))
+            trees.append(tree)
+        hints = {tree.layout.root_hint(p) for p in range(8)}
+        assert len(hints) > 1  # the hint function itself varies
+
+    def test_stagger_never_breaks_full_pages(self):
+        tree = self.make_tree(page_size=4096)
+        keys = dense_keys(10 * tree.layout.page_fanout)
+        tree.bulkload(keys, keys, fill=1.0)
+        tree.validate()
+
+
+class TestDiskFirstCacheBehaviour:
+    def build_pair(self, n=60000, page_size=16384):
+        mem = MemorySystem()
+        fp = DiskFirstFpTree(TreeEnvironment(page_size=page_size, mem=mem, buffer_pages=1024))
+        disk = DiskBPlusTree(TreeEnvironment(page_size=page_size, mem=mem, buffer_pages=1024))
+        keys = dense_keys(n)
+        with mem.paused():
+            fp.bulkload(keys, keys)
+            disk.bulkload(keys, keys)
+        return fp, disk, mem, keys
+
+    def measure(self, fn, mem, items):
+        mem.clear_caches()
+        with mem.measure() as phase:
+            for item in items:
+                fn(item)
+        return phase
+
+    def test_search_beats_disk_optimized(self):
+        """Figure 10's direction: fpB+-Tree search is faster."""
+        fp, disk, mem, keys = self.build_pair()
+        rng = np.random.default_rng(1)
+        picks = [int(k) for k in rng.choice(keys, size=80)]
+        fp_phase = self.measure(fp.search, mem, picks)
+        disk_phase = self.measure(disk.search, mem, picks)
+        assert fp_phase.total_cycles < disk_phase.total_cycles
+
+    def test_insertion_much_faster_when_not_splitting(self):
+        """Figure 13's direction: ~10x+ win from small-node data movement."""
+        fp, disk, mem, keys = self.build_pair(page_size=16384)
+        # 70%-full trees: no page splits, data movement dominates.
+        mem2 = MemorySystem()
+        fp2 = DiskFirstFpTree(TreeEnvironment(page_size=16384, mem=mem2, buffer_pages=1024))
+        disk2 = DiskBPlusTree(TreeEnvironment(page_size=16384, mem=mem2, buffer_pages=1024))
+        with mem2.paused():
+            fp2.bulkload(keys, keys, fill=0.7)
+            disk2.bulkload(keys, keys, fill=0.7)
+        rng = np.random.default_rng(2)
+        picks = [int(k) + 1 for k in rng.choice(keys, size=60)]
+        fp_phase = self.measure(lambda k: fp2.insert(k, 1), mem2, picks)
+        disk_phase = self.measure(lambda k: disk2.insert(k, 1), mem2, picks)
+        assert disk_phase.total_cycles > 4 * fp_phase.total_cycles
+
+    def test_range_scan_beats_disk_optimized(self):
+        """Figure 15's direction: prefetched leaf nodes win."""
+        fp, disk, mem, keys = self.build_pair()
+        lo, hi = keys[1000], keys[50000]
+        mem.clear_caches()
+        with mem.measure() as fp_phase:
+            fp_result = fp.range_scan(lo, hi)
+        mem.clear_caches()
+        with mem.measure() as disk_phase:
+            disk_result = disk.range_scan(lo, hi)
+        assert fp_result == disk_result
+        assert fp_phase.total_cycles < disk_phase.total_cycles
+
+    def test_search_uses_prefetch(self):
+        fp, __, mem, keys = self.build_pair(n=5000)
+        mem.clear_caches()
+        with mem.measure() as phase:
+            fp.search(keys[42])
+        assert phase.prefetches_issued > 0

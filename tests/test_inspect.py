@@ -1,0 +1,93 @@
+"""Tests for index introspection."""
+
+import pytest
+
+from repro import CacheFirstFpTree, DiskBPlusTree, DiskFirstFpTree, MicroIndexTree, TreeEnvironment
+from repro.btree.inspect import inspect_tree
+from repro.workloads import KeyWorkload, build_mature_tree
+
+
+def make(kind, **kw):
+    if kind == "disk":
+        return DiskBPlusTree(TreeEnvironment(page_size=1024, buffer_pages=256, **kw))
+    if kind == "micro":
+        return MicroIndexTree(TreeEnvironment(page_size=1024, buffer_pages=256, **kw))
+    if kind == "fp-disk":
+        return DiskFirstFpTree(TreeEnvironment(page_size=1024, buffer_pages=256, **kw))
+    return CacheFirstFpTree(
+        TreeEnvironment(page_size=1024, buffer_pages=256, **kw), num_keys_hint=10_000
+    )
+
+
+@pytest.mark.parametrize("kind", ["disk", "micro", "fp-disk", "fp-cache"])
+def test_report_basic_fields(kind):
+    tree = make(kind)
+    workload = KeyWorkload(3000)
+    keys, tids = workload.bulkload_arrays()
+    tree.bulkload(keys, tids, fill=0.8)
+    report = inspect_tree(tree)
+    assert report.num_entries == 3000
+    assert report.num_pages == tree.num_pages
+    assert report.leaf_pages == len(tree.leaf_page_ids())
+    assert 0.5 < report.avg_leaf_fill <= 1.0
+    assert report.min_leaf_fill <= report.avg_leaf_fill <= report.max_leaf_fill
+    assert report.bytes_per_entry > 8  # key + tid at minimum
+    assert kind.replace("fp-", "") in report.kind or "B+tree" in report.kind
+
+
+def test_fill_tracks_bulkload_factor():
+    low = make("disk")
+    high = make("disk")
+    workload = KeyWorkload(3000)
+    keys, tids = workload.bulkload_arrays()
+    low.bulkload(keys, tids, fill=0.6)
+    high.bulkload(keys, tids, fill=1.0)
+    assert inspect_tree(low).avg_leaf_fill < inspect_tree(high).avg_leaf_fill
+
+
+def test_disk_first_reports_line_utilization():
+    tree = make("fp-disk")
+    workload = KeyWorkload(4000)
+    keys, tids = workload.bulkload_arrays()
+    tree.bulkload(keys, tids)
+    report = inspect_tree(tree)
+    assert report.inpage_nodes > len(tree.leaf_page_ids())  # leaves + roots
+    assert report.line_utilization is not None
+    assert 0.3 < report.line_utilization <= 1.0
+    assert 0.5 < report.avg_node_fill <= 1.0
+
+
+def test_cache_first_reports_overflow_pages():
+    tree = CacheFirstFpTree(
+        TreeEnvironment(page_size=4096, buffer_pages=1024), num_keys_hint=100_000
+    )
+    workload = KeyWorkload(60_000)
+    keys, tids = workload.bulkload_arrays()
+    tree.bulkload(keys, tids)
+    report = inspect_tree(tree)
+    assert report.overflow_pages == tree.overflow_page_count()
+    assert report.overflow_pages > 0
+
+
+def test_mature_tree_fill_drops():
+    bulk = make("fp-disk")
+    workload = KeyWorkload(4000)
+    keys, tids = workload.bulkload_arrays()
+    bulk.bulkload(keys, tids)
+    churned = make("fp-disk")
+    build_mature_tree(churned, KeyWorkload(4000), bulk_fraction=0.5)
+    assert inspect_tree(churned).avg_leaf_fill < inspect_tree(bulk).avg_leaf_fill
+
+
+def test_format_is_readable():
+    tree = make("fp-disk")
+    tree.bulkload(range(0, 5000, 2), range(2500))
+    text = inspect_tree(tree).format()
+    assert "entries" in text
+    assert "fill" in text
+    assert "utilization" in text
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError):
+        inspect_tree(object())

@@ -1,0 +1,84 @@
+"""Tests for the timed range-scan I/O simulation (Figure 18 machinery)."""
+
+import pytest
+
+from repro.bench.io_scan import timed_range_scan
+from repro.btree.context import TreeEnvironment
+from repro.core import DiskFirstFpTree
+from repro.workloads import KeyWorkload, build_mature_tree
+
+
+@pytest.fixture(scope="module")
+def mature_tree():
+    tree = DiskFirstFpTree(TreeEnvironment(page_size=4096, buffer_pages=4096))
+    workload = KeyWorkload(40_000, seed=11)
+    build_mature_tree(tree, workload, bulk_fraction=0.9)
+    return tree, workload
+
+
+def scan_pids(tree, count=60):
+    pids = tree.leaf_page_ids()
+    return pids[:count], pids[count : count + 32]
+
+
+def test_prefetch_beats_plain_scan_on_many_disks(mature_tree):
+    tree, __ = mature_tree
+    pids, extra = scan_pids(tree)
+    plain = timed_range_scan(tree.store, pids, num_disks=10, use_prefetch=False)
+    fetched = timed_range_scan(tree.store, pids, num_disks=10, use_prefetch=True)
+    assert fetched.elapsed_us < plain.elapsed_us
+    # Mature-tree leaves are scattered, so the win should be large (>2x).
+    assert plain.elapsed_us / fetched.elapsed_us > 2.0
+
+
+def test_single_disk_gives_little_benefit(mature_tree):
+    tree, __ = mature_tree
+    pids, __ = scan_pids(tree)
+    plain = timed_range_scan(tree.store, pids, num_disks=1, use_prefetch=False)
+    fetched = timed_range_scan(tree.store, pids, num_disks=1, use_prefetch=True)
+    assert fetched.elapsed_us <= plain.elapsed_us
+    assert plain.elapsed_us / fetched.elapsed_us < 2.0
+
+
+def test_speedup_grows_with_disks(mature_tree):
+    tree, __ = mature_tree
+    pids, __ = scan_pids(tree)
+    speedups = []
+    for disks in (1, 4, 10):
+        plain = timed_range_scan(tree.store, pids, num_disks=disks, use_prefetch=False)
+        fetched = timed_range_scan(
+            tree.store, pids, num_disks=disks, use_prefetch=True, prefetch_depth=2 * disks
+        )
+        speedups.append(plain.elapsed_us / fetched.elapsed_us)
+    assert speedups[0] < speedups[1] < speedups[2]
+
+
+def test_overshoot_costs_extra_reads(mature_tree):
+    tree, __ = mature_tree
+    pids, extra = scan_pids(tree, count=20)
+    careful = timed_range_scan(
+        tree.store, pids, extra_pids=extra, num_disks=4, use_prefetch=True, avoid_overshoot=True
+    )
+    sloppy = timed_range_scan(
+        tree.store, pids, extra_pids=extra, num_disks=4, use_prefetch=True, avoid_overshoot=False
+    )
+    assert careful.overshoot_reads == 0
+    assert sloppy.overshoot_reads > 0
+    assert sloppy.disk_reads > careful.disk_reads
+
+
+def test_search_paths_are_read(mature_tree):
+    tree, workload = mature_tree
+    key = int(workload.keys[1000])
+    path = tree.page_path(key)
+    pids, __ = scan_pids(tree, count=5)
+    timing = timed_range_scan(tree.store, pids, start_path=path, num_disks=2, use_prefetch=False)
+    assert timing.disk_reads >= len(pids) + len(path) - 1  # root may repeat
+
+
+def test_empty_range():
+    tree = DiskFirstFpTree(TreeEnvironment(page_size=4096, buffer_pages=64))
+    tree.bulkload(range(10, 5000, 3), range(10, 5000, 3))
+    timing = timed_range_scan(tree.store, [], num_disks=2, use_prefetch=True)
+    assert timing.elapsed_us == 0
+    assert timing.disk_reads == 0

@@ -1,0 +1,92 @@
+"""Tests for the external jump-pointer array."""
+
+import pytest
+
+from repro.core import ExternalJumpPointerArray
+
+
+def test_build_and_iterate():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build([10, 20, 30, 40, 50])
+    assert jpa.to_list() == [10, 20, 30, 40, 50]
+    assert len(jpa) == 5
+
+
+def test_iter_from_middle():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build(range(0, 100, 10))
+    assert list(jpa.iter_from(50)) == [50, 60, 70, 80, 90]
+
+
+def test_insert_after_preserves_order():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build([1, 2, 3])
+    jpa.insert_after(2, 99)
+    assert jpa.to_list() == [1, 2, 99, 3]
+
+
+def test_insert_after_last():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build([1, 2])
+    jpa.insert_after(2, 3)
+    assert jpa.to_list() == [1, 2, 3]
+
+
+def test_chunk_split_on_overflow():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build([1])
+    for i in range(2, 20):
+        jpa.insert_after(i - 1, i)
+    assert jpa.to_list() == list(range(1, 20))
+
+
+def test_many_inserts_at_same_point():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build([100, 200])
+    expected = [100]
+    for pid in range(101, 130):
+        jpa.insert_after(expected[-1], pid)
+        expected.append(pid)
+    assert jpa.to_list() == expected + [200]
+
+
+def test_append_and_remove():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build([1, 2, 3])
+    jpa.append(4)
+    jpa.remove(2)
+    assert jpa.to_list() == [1, 3, 4]
+
+
+def test_append_to_empty():
+    jpa = ExternalJumpPointerArray()
+    jpa.append(7)
+    assert jpa.to_list() == [7]
+
+
+def test_locate_missing_pid_raises():
+    jpa = ExternalJumpPointerArray()
+    jpa.build([1])
+    with pytest.raises(KeyError):
+        jpa.insert_after(42, 43)
+
+
+def test_hints_survive_chunk_splits():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build(range(20))
+    # Splits shuffle pids between chunks; stale hints must self-repair.
+    for i in range(100, 110):
+        jpa.insert_after(10, i)
+    assert list(jpa.iter_from(19)) == [19]
+
+
+def test_rebuild_resets_state():
+    jpa = ExternalJumpPointerArray(chunk_capacity=4)
+    jpa.build([1, 2, 3])
+    jpa.build([9, 8])
+    assert jpa.to_list() == [9, 8]
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        ExternalJumpPointerArray(chunk_capacity=1)

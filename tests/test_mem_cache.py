@@ -1,0 +1,93 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.mem import Cache
+
+
+def test_miss_then_hit():
+    cache = Cache(size_bytes=1024, line_size=64, associativity=2)
+    assert not cache.lookup(3)
+    cache.insert(3)
+    assert cache.lookup(3)
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_lru_eviction_within_set():
+    # 2 sets, 2-way: lines with the same parity map to the same set.
+    cache = Cache(size_bytes=256, line_size=64, associativity=2)
+    assert cache.num_sets == 2
+    cache.insert(0)
+    cache.insert(2)
+    victim = cache.insert(4)  # set 0 full -> evict LRU (line 0)
+    assert victim == 0
+    assert not cache.contains(0)
+    assert cache.contains(2)
+    assert cache.contains(4)
+
+
+def test_lookup_refreshes_lru_order():
+    cache = Cache(size_bytes=256, line_size=64, associativity=2)
+    cache.insert(0)
+    cache.insert(2)
+    cache.lookup(0)  # 0 becomes MRU, so 2 is the next victim
+    victim = cache.insert(4)
+    assert victim == 2
+    assert cache.contains(0)
+
+
+def test_direct_mapped_conflicts():
+    cache = Cache(size_bytes=256, line_size=64, associativity=1)
+    assert cache.num_sets == 4
+    cache.insert(1)
+    victim = cache.insert(5)  # 1 and 5 conflict in a 4-set direct-mapped cache
+    assert victim == 1
+    assert cache.contains(5)
+
+
+def test_insert_existing_line_is_not_eviction():
+    cache = Cache(size_bytes=256, line_size=64, associativity=2)
+    cache.insert(0)
+    assert cache.insert(0) is None
+    assert cache.resident_lines() == 1
+
+
+def test_contains_does_not_count():
+    cache = Cache(size_bytes=256, line_size=64, associativity=2)
+    cache.contains(7)
+    assert cache.hits == 0
+    assert cache.misses == 0
+
+
+def test_invalidate():
+    cache = Cache(size_bytes=256, line_size=64, associativity=2)
+    cache.insert(9)
+    assert cache.invalidate(9)
+    assert not cache.invalidate(9)
+    assert not cache.contains(9)
+
+
+def test_clear_preserves_counters():
+    cache = Cache(size_bytes=256, line_size=64, associativity=2)
+    cache.lookup(1)
+    cache.insert(1)
+    cache.clear()
+    assert cache.resident_lines() == 0
+    assert cache.misses == 1
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        Cache(size_bytes=100, line_size=64, associativity=2)
+    with pytest.raises(ValueError):
+        Cache(size_bytes=256, line_size=64, associativity=0)
+
+
+def test_full_capacity():
+    cache = Cache(size_bytes=64 * 16, line_size=64, associativity=4)
+    for line in range(16):
+        cache.insert(line)
+    assert cache.resident_lines() == 16
+    for line in range(16):
+        assert cache.contains(line)

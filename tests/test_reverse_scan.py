@@ -1,0 +1,91 @@
+"""Reverse range scans (the paper's DB2 integration adds backward links)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DiskBPlusTree, MicroIndexTree, PrefetchingBPlusTree
+from repro.btree.context import TreeEnvironment
+from repro.core import CacheFirstFpTree, DiskFirstFpTree
+from repro.mem import MemorySystem
+
+FACTORIES = {
+    "disk": lambda **kw: DiskBPlusTree(TreeEnvironment(page_size=1024, buffer_pages=256, **kw)),
+    "micro": lambda **kw: MicroIndexTree(TreeEnvironment(page_size=1024, buffer_pages=256, **kw)),
+    "fp-disk": lambda **kw: DiskFirstFpTree(TreeEnvironment(page_size=1024, buffer_pages=256, **kw)),
+    "fp-cache": lambda **kw: CacheFirstFpTree(
+        TreeEnvironment(page_size=1024, buffer_pages=256, **kw), num_keys_hint=10_000
+    ),
+}
+
+
+def loaded(kind, n=4000, **kw):
+    tree = FACTORIES[kind](**kw)
+    keys = list(range(10, 10 + 3 * n, 3))
+    tree.bulkload(keys, [k * 2 for k in keys], fill=0.9)
+    return tree, keys
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_reverse_equals_forward(kind):
+    tree, keys = loaded(kind)
+    for lo_i, hi_i in [(0, len(keys) - 1), (100, 3000), (7, 8), (50, 50)]:
+        lo, hi = keys[lo_i], keys[hi_i]
+        assert tree.range_scan_reverse(lo, hi) == tree.range_scan(lo, hi)
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_reverse_bounds_in_gaps(kind):
+    tree, keys = loaded(kind, n=500)
+    assert tree.range_scan_reverse(keys[3] + 1, keys[9] - 1).count == 5
+    assert tree.range_scan_reverse(0, keys[0] - 1).count == 0
+    assert tree.range_scan_reverse(keys[-1] + 1, keys[-1] + 99).count == 0
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_reverse_inverted_range_empty(kind):
+    tree, keys = loaded(kind, n=100)
+    assert tree.range_scan_reverse(keys[10], keys[5]).count == 0
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_reverse_after_updates(kind):
+    tree, keys = loaded(kind, n=2000)
+    rng = np.random.default_rng(6)
+    for key in rng.choice(keys, size=200, replace=False):
+        tree.delete(int(key))
+    for key in range(11, 4000, 17):
+        if (key - 10) % 3 != 0:
+            tree.insert(key, key)
+    lo, hi = keys[100], keys[1500]
+    assert tree.range_scan_reverse(lo, hi) == tree.range_scan(lo, hi)
+    tree.validate()
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_reverse_with_duplicates(kind):
+    tree = FACTORIES[kind]()
+    for __ in range(30):
+        tree.insert(500, 1)
+    for key in range(100, 900, 7):
+        tree.insert(key, 2)
+    assert tree.range_scan_reverse(500, 500) == tree.range_scan(500, 500)
+    assert tree.range_scan_reverse(490, 510) == tree.range_scan(490, 510)
+
+
+def test_reverse_scan_is_traced():
+    mem = MemorySystem()
+    tree = DiskBPlusTree(TreeEnvironment(page_size=1024, buffer_pages=256, mem=mem))
+    keys = list(range(10, 10_000, 3))
+    with mem.paused():
+        tree.bulkload(keys, keys)
+    mem.clear_caches()
+    with mem.measure() as phase:
+        tree.range_scan_reverse(keys[100], keys[-100])
+    assert phase.dcache_stall_cycles > 0
+
+
+def test_pbtree_has_no_reverse_scan():
+    tree = PrefetchingBPlusTree()
+    tree.bulkload([1, 2, 3], [1, 2, 3])
+    with pytest.raises(NotImplementedError):
+        tree.range_scan_reverse(1, 3)

@@ -1,0 +1,73 @@
+"""Tests for the scan_items cursor API."""
+
+import pytest
+
+from repro import (
+    CacheFirstFpTree,
+    DiskBPlusTree,
+    DiskFirstFpTree,
+    MicroIndexTree,
+    PrefetchingBPlusTree,
+    TreeEnvironment,
+)
+
+FACTORIES = {
+    "disk": lambda: DiskBPlusTree(TreeEnvironment(page_size=1024, buffer_pages=256)),
+    "micro": lambda: MicroIndexTree(TreeEnvironment(page_size=1024, buffer_pages=256)),
+    "fp-disk": lambda: DiskFirstFpTree(TreeEnvironment(page_size=1024, buffer_pages=256)),
+    "fp-cache": lambda: CacheFirstFpTree(
+        TreeEnvironment(page_size=1024, buffer_pages=256), num_keys_hint=10_000
+    ),
+    "pbtree": lambda: PrefetchingBPlusTree(),
+}
+
+
+def loaded(kind, n=3000):
+    tree = FACTORIES[kind]()
+    keys = list(range(10, 10 + 3 * n, 3))
+    tree.bulkload(keys, [k + 1 for k in keys], fill=0.9)
+    return tree, keys
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_scan_items_matches_reference(kind):
+    tree, keys = loaded(kind)
+    lo, hi = keys[100], keys[900]
+    expected = [(k, k + 1) for k in keys if lo <= k <= hi]
+    assert list(tree.scan_items(lo, hi)) == expected
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_scan_items_empty_and_inverted(kind):
+    tree, keys = loaded(kind, n=200)
+    assert list(tree.scan_items(keys[5], keys[2])) == []
+    assert list(tree.scan_items(0, keys[0] - 1)) == []
+    assert list(tree.scan_items(keys[-1] + 1, keys[-1] + 50)) == []
+
+
+@pytest.mark.parametrize("kind", sorted(FACTORIES))
+def test_scan_items_agrees_with_range_scan(kind):
+    tree, keys = loaded(kind, n=1000)
+    lo, hi = keys[50], keys[800]
+    entries = list(tree.scan_items(lo, hi))
+    result = tree.range_scan(lo, hi)
+    assert len(entries) == result.count
+    assert sum(tid for __, tid in entries) == result.tid_sum
+
+
+def test_disk_cursor_catches_boundary_duplicates():
+    tree = FACTORIES["disk"]()
+    for __ in range(40):
+        tree.insert(500, 1)
+    for key in range(100, 900, 7):
+        tree.insert(key, 2)
+    assert len(list(tree.scan_items(500, 500))) == 40
+
+
+def test_disk_cursor_is_lazy():
+    tree, keys = loaded("disk")
+    cursor = tree.scan_items(keys[0], keys[-1])
+    first = next(cursor)
+    assert first == (keys[0], keys[0] + 1)
+    # The generator can be abandoned without consuming the whole range.
+    cursor.close()

@@ -1,0 +1,351 @@
+"""Unit tests for the storage substrate: page store, buffer pool, disk array."""
+
+import pytest
+
+from repro.des import Environment
+from repro.mem import AddressSpace, MemorySystem
+from repro.storage import (
+    AsyncPageReader,
+    BufferPool,
+    DiskArray,
+    DiskParameters,
+    PageStore,
+    StorageConfig,
+)
+
+
+class FakePage:
+    def __init__(self, label):
+        self.label = label
+
+
+# -- PageStore -----------------------------------------------------------------
+
+
+def test_page_store_allocates_dense_ids():
+    store = PageStore(page_size=4096)
+    ids = [store.allocate(FakePage(i)) for i in range(5)]
+    assert ids == [0, 1, 2, 3, 4]
+    assert store.num_pages == 5
+
+
+def test_page_store_free_and_reuse():
+    store = PageStore(page_size=4096)
+    first = store.allocate(FakePage("a"))
+    store.free(first)
+    assert store.num_pages == 0
+    second = store.allocate(FakePage("b"))
+    assert second == first  # id recycled
+    assert store.page(second).label == "b"
+
+
+def test_page_store_errors_on_bad_ids():
+    store = PageStore(page_size=4096)
+    with pytest.raises(KeyError):
+        store.page(0)
+    with pytest.raises(KeyError):
+        store.free(3)
+
+
+def test_page_store_replace():
+    store = PageStore(page_size=4096)
+    pid = store.allocate(FakePage("old"))
+    store.replace(pid, FakePage("new"))
+    assert store.page(pid).label == "new"
+
+
+def test_page_store_total_bytes():
+    store = PageStore(page_size=8192)
+    store.allocate(FakePage(0))
+    store.allocate(FakePage(1))
+    assert store.total_bytes == 16384
+
+
+# -- BufferPool -----------------------------------------------------------------
+
+
+def make_pool(frames=4, mem=None):
+    config = StorageConfig(page_size=4096, buffer_pool_pages=frames)
+    store = PageStore(config.page_size)
+    pool = BufferPool(config, store, mem=mem)
+    return config, store, pool
+
+
+def test_buffer_pool_hit_and_miss_counting():
+    __, store, pool = make_pool()
+    pid = store.allocate(FakePage("x"))
+    pool.access(pid)
+    pool.access(pid)
+    assert pool.misses == 1
+    assert pool.hits == 1
+
+
+def test_buffer_pool_clock_eviction():
+    __, store, pool = make_pool(frames=2)
+    pids = [store.allocate(FakePage(i)) for i in range(3)]
+    pool.access(pids[0])
+    pool.access(pids[1])
+    pool.access(pids[2])  # must evict one of the first two
+    assert pool.resident_pages == 2
+    assert pool.contains(pids[2])
+
+
+def test_buffer_pool_clock_second_chance():
+    """A page with its reference bit set survives over one with it clear."""
+    __, store, pool = make_pool(frames=2)
+    a, b, c, d = [store.allocate(FakePage(i)) for i in range(4)]
+    pool.access(a)
+    pool.access(b)
+    # Installing c sweeps the clock: clears both ref bits, evicts a, and
+    # leaves c with its bit set while b's bit is clear.
+    pool.access(c)
+    assert not pool.contains(a)
+    # The next eviction must pick b (clear bit), giving c its second chance.
+    pool.access(d)
+    assert pool.contains(c)
+    assert not pool.contains(b)
+
+
+def test_buffer_pool_pinned_page_not_evicted():
+    __, store, pool = make_pool(frames=2)
+    a, b, c = [store.allocate(FakePage(i)) for i in range(3)]
+    with pool.pinned(a):
+        pool.access(b)
+        pool.access(c)  # must evict b, not pinned a
+        assert pool.contains(a)
+
+
+def test_buffer_pool_all_pinned_raises():
+    __, store, pool = make_pool(frames=1)
+    a = store.allocate(FakePage("a"))
+    b = store.allocate(FakePage("b"))
+    with pool.pinned(a):
+        with pytest.raises(RuntimeError):
+            pool.access(b)
+
+
+def test_buffer_pool_clear_resets_residency():
+    __, store, pool = make_pool()
+    pid = store.allocate(FakePage("x"))
+    pool.access(pid)
+    pool.clear()
+    assert not pool.contains(pid)
+    pool.access(pid)
+    assert pool.misses == 2
+
+
+def test_buffer_pool_invalidate():
+    __, store, pool = make_pool()
+    pid = store.allocate(FakePage("x"))
+    pool.access(pid)
+    pool.invalidate(pid)
+    assert not pool.contains(pid)
+
+
+def test_buffer_pool_frame_addresses_are_page_strided():
+    mem = MemorySystem()
+    config = StorageConfig(page_size=4096, buffer_pool_pages=4)
+    store = PageStore(config.page_size)
+    pool = BufferPool(config, store, mem=mem, address_space=AddressSpace())
+    pids = [store.allocate(FakePage(i)) for i in range(4)]
+    addresses = set()
+    for pid in pids:
+        __, address = pool.access(pid)
+        addresses.add(address)
+    assert len(addresses) == 4
+    sorted_addresses = sorted(addresses)
+    deltas = {b - a for a, b in zip(sorted_addresses, sorted_addresses[1:])}
+    assert deltas == {4096}
+
+
+def test_buffer_pool_charges_busy_time():
+    mem = MemorySystem()
+    __, store, pool = make_pool(mem=mem)
+    pid = store.allocate(FakePage("x"))
+    pool.access(pid)
+    assert mem.stats.busy_cycles == mem.cpu.buffer_pool_access
+
+
+def test_buffer_pool_access_unknown_page_raises():
+    __, __, pool = make_pool()
+    with pytest.raises(KeyError):
+        pool.access(99)
+
+
+# -- DiskArray ------------------------------------------------------------------
+
+
+def timing_config(num_disks=1, page_size=4096):
+    return StorageConfig(
+        page_size=page_size,
+        num_disks=num_disks,
+        buffer_pool_pages=64,
+        disk=DiskParameters(
+            seek_time_us=5000,
+            rotational_latency_us=3000,
+            track_to_track_us=1000,
+            transfer_rate_bytes_per_us=40.0,
+        ),
+    )
+
+
+def test_single_random_read_time():
+    env = Environment()
+    config = timing_config()
+    array = DiskArray(env, config)
+    done = array.read_page(0)
+    env.run(until=done)
+    # seek + rotation + transfer of 4096 bytes at 40 B/us
+    assert env.now == pytest.approx(5000 + 3000 + 4096 / 40.0)
+
+
+def test_sequential_read_is_cheap():
+    env = Environment()
+    config = timing_config()
+    array = DiskArray(env, config)
+
+    def scan():
+        yield array.read_page(0)
+        first = env.now
+        yield array.read_page(1)  # adjacent block: track-to-track only
+        return env.now - first
+
+    second_duration = env.run(until=env.process(scan()))
+    assert second_duration == pytest.approx(1000 + 4096 / 40.0)
+
+
+def test_far_read_pays_full_seek():
+    env = Environment()
+    config = timing_config()
+    array = DiskArray(env, config)
+
+    def scan():
+        yield array.read_page(0)
+        first = env.now
+        yield array.read_page(1000)
+        return env.now - first
+
+    second_duration = env.run(until=env.process(scan()))
+    assert second_duration == pytest.approx(5000 + 3000 + 4096 / 40.0)
+
+
+def test_reads_on_distinct_disks_overlap():
+    env = Environment()
+    array = DiskArray(env, timing_config(num_disks=2))
+
+    def scan():
+        # Pages 0 and 1 stripe onto disks 0 and 1.
+        yield env.all_of([array.read_page(0), array.read_page(1)])
+
+    env.run(until=env.process(scan()))
+    single = 5000 + 3000 + 4096 / 40.0
+    assert env.now == pytest.approx(single)  # fully parallel
+
+
+def test_reads_on_same_disk_serialize():
+    env = Environment()
+    array = DiskArray(env, timing_config(num_disks=2))
+
+    def scan():
+        # Pages 0 and 2 both live on disk 0.
+        yield env.all_of([array.read_page(0), array.read_page(2)])
+
+    env.run(until=env.process(scan()))
+    first = 5000 + 3000 + 4096 / 40.0
+    second = 1000 + 4096 / 40.0  # blocks 0 -> 1 on the same disk
+    assert env.now == pytest.approx(first + second)
+
+
+def test_striping_layout():
+    config = timing_config(num_disks=4)
+    assert [config.disk_of(p) for p in range(6)] == [0, 1, 2, 3, 0, 1]
+    assert config.block_of(5) == 1
+
+
+# -- AsyncPageReader ----------------------------------------------------------------
+
+
+def reader_fixture(num_disks=1, frames=16):
+    env = Environment()
+    config = timing_config(num_disks=num_disks)
+    config = StorageConfig(
+        page_size=config.page_size,
+        num_disks=num_disks,
+        buffer_pool_pages=frames,
+        disk=config.disk,
+    )
+    store = PageStore(config.page_size)
+    pool = BufferPool(config, store)
+    array = DiskArray(env, config)
+    reader = AsyncPageReader(env, array, pool)
+    return env, store, pool, reader
+
+
+def test_demand_read_blocks_for_io():
+    env, store, pool, reader = reader_fixture()
+    pid = store.allocate(FakePage("x"))
+
+    def scan():
+        yield from reader.demand(pid)
+
+    env.run(until=env.process(scan()))
+    assert env.now > 0
+    assert pool.contains(pid)
+    assert reader.demand_reads == 1
+
+
+def test_demand_hit_is_instant():
+    env, store, pool, reader = reader_fixture()
+    pid = store.allocate(FakePage("x"))
+    pool.access(pid)
+
+    def scan():
+        yield from reader.demand(pid)
+
+    env.run(until=env.process(scan()))
+    assert env.now == 0
+    assert reader.demand_hits == 1
+
+
+def test_prefetch_then_demand_coalesces():
+    env, store, pool, reader = reader_fixture()
+    pid = store.allocate(FakePage("x"))
+
+    def scan():
+        reader.prefetch(pid)
+        yield env.timeout(1)
+        yield from reader.demand(pid)
+
+    env.run(until=env.process(scan()))
+    assert reader.prefetches == 1
+    assert reader.demand_covered == 1
+    assert reader.demand_reads == 0
+
+
+def test_prefetch_of_resident_page_is_noop():
+    env, store, pool, reader = reader_fixture()
+    pid = store.allocate(FakePage("x"))
+    pool.access(pid)
+    assert reader.prefetch(pid) is None
+    assert reader.prefetches == 0
+
+
+def test_completed_prefetch_installs_page():
+    env, store, pool, reader = reader_fixture()
+    pid = store.allocate(FakePage("x"))
+
+    def scan():
+        reader.prefetch(pid)
+        yield env.timeout(60000)
+
+    env.run(until=env.process(scan()))
+    assert pool.contains(pid)
+    assert reader.outstanding == 0
+
+
+def test_preload_marks_resident():
+    env, store, pool, reader = reader_fixture()
+    pids = [store.allocate(FakePage(i)) for i in range(3)]
+    reader.preload(pids)
+    for pid in pids:
+        assert pool.contains(pid)

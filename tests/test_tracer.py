@@ -1,0 +1,66 @@
+"""Tests for the access tracer (the index-to-cache-simulator bridge)."""
+
+from repro.btree.trace import NULL_TRACER, Tracer
+from repro.mem import MemorySystem
+
+
+def test_null_tracer_is_inactive_and_harmless():
+    assert not NULL_TRACER.active
+    NULL_TRACER.read(0, 64)
+    NULL_TRACER.write(0, 64)
+    NULL_TRACER.prefetch(0, 64)
+    NULL_TRACER.probe(0)
+    NULL_TRACER.move(0, 64, 128)
+    NULL_TRACER.scan(0, 64)
+    NULL_TRACER.busy(100)
+    NULL_TRACER.visit_node()
+    NULL_TRACER.call_overhead()
+
+
+def test_active_only_when_mem_enabled():
+    mem = MemorySystem()
+    tracer = Tracer(mem)
+    assert tracer.active
+    with mem.paused():
+        assert not tracer.active
+
+
+def test_probe_charges_load_and_branch():
+    mem = MemorySystem()
+    tracer = Tracer(mem)
+    tracer.probe(0)
+    assert mem.stats.memory_fetches == 1
+    assert mem.stats.busy_cycles == mem.cpu.compare
+    assert mem.stats.other_stall_cycles == mem.cpu.mispredict_rate * mem.cpu.branch_mispredict
+
+
+def test_move_charges_source_reads_and_copy_busy():
+    mem = MemorySystem()
+    tracer = Tracer(mem)
+    tracer.move(10_240, 0, 256)  # 4 lines src, 4 lines dst (line-aligned)
+    assert mem.stats.memory_fetches == 4  # source lines are demand loads
+    assert mem.stats.store_fetches == 4  # destination lines write-allocate
+    assert mem.stats.busy_cycles >= 4 * mem.cpu.copy_per_line
+
+
+def test_move_zero_bytes_is_free():
+    mem = MemorySystem()
+    Tracer(mem).move(0, 64, 0)
+    assert mem.stats.total_cycles == 0
+
+
+def test_scan_charges_per_line_busy():
+    mem = MemorySystem()
+    tracer = Tracer(mem)
+    tracer.scan(0, 256, per_line_busy=3.0)
+    assert mem.stats.memory_fetches == 4
+    assert mem.stats.busy_cycles == 12.0
+
+
+def test_overheads_route_to_busy():
+    mem = MemorySystem()
+    tracer = Tracer(mem)
+    tracer.visit_node()
+    tracer.call_overhead()
+    assert mem.stats.busy_cycles == mem.cpu.node_visit + mem.cpu.function_call
+    assert mem.stats.dcache_stall_cycles == 0

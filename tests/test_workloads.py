@@ -1,0 +1,86 @@
+"""Tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DiskBPlusTree
+from repro.btree.context import TreeEnvironment
+from repro.workloads import KeyWorkload, build_mature_tree
+
+
+def test_keys_sorted_unique_and_reproducible():
+    a = KeyWorkload(10_000, seed=1)
+    b = KeyWorkload(10_000, seed=1)
+    assert np.array_equal(a.keys, b.keys)
+    assert np.all(np.diff(a.keys.astype(np.int64)) > 0)
+
+
+def test_different_seeds_differ():
+    a = KeyWorkload(1000, seed=1)
+    b = KeyWorkload(1000, seed=2)
+    assert not np.array_equal(a.keys, b.keys)
+
+
+def test_search_keys_all_hits():
+    w = KeyWorkload(5000, seed=3)
+    existing = set(w.keys.tolist())
+    for key in w.search_keys(200, hit_ratio=1.0).tolist():
+        assert key in existing
+
+
+def test_search_keys_with_misses():
+    w = KeyWorkload(5000, seed=3)
+    existing = set(w.keys.tolist())
+    picks = w.search_keys(500, hit_ratio=0.0).tolist()
+    assert all(key not in existing for key in picks)
+
+
+def test_insert_keys_are_new():
+    w = KeyWorkload(5000, seed=4)
+    existing = set(w.keys.tolist())
+    new_keys, new_tids = w.insert_keys(300)
+    assert all(int(k) not in existing for k in new_keys)
+    assert len(set(new_tids.tolist()) & set(w.tids.tolist())) == 0
+
+
+def test_delete_keys_distinct_and_existing():
+    w = KeyWorkload(1000, seed=5)
+    picks = w.delete_keys(100).tolist()
+    assert len(set(picks)) == 100
+    existing = set(w.keys.tolist())
+    assert all(k in existing for k in picks)
+
+
+def test_range_scans_span_exact_entries():
+    w = KeyWorkload(10_000, seed=6)
+    for start, end in w.range_scans(20, span=500):
+        lo = int(np.searchsorted(w.keys, start, side="left"))
+        hi = int(np.searchsorted(w.keys, end, side="right"))
+        assert hi - lo == 500
+
+
+def test_range_scan_invalid_span():
+    w = KeyWorkload(100, seed=6)
+    with pytest.raises(ValueError):
+        w.range_scans(1, span=0)
+    with pytest.raises(ValueError):
+        w.range_scans(1, span=101)
+
+
+def test_split_for_maturity_partitions_cleanly():
+    w = KeyWorkload(2000, seed=7)
+    bulk_keys, bulk_tids, rest_keys, rest_tids = w.split_for_maturity(0.9)
+    assert len(bulk_keys) + len(rest_keys) == 2000
+    assert np.all(np.diff(bulk_keys.astype(np.int64)) > 0)  # sorted
+    combined = set(bulk_keys.tolist()) | set(rest_keys.tolist())
+    assert combined == set(w.keys.tolist())
+
+
+def test_build_mature_tree_contains_everything():
+    w = KeyWorkload(3000, seed=8)
+    tree = DiskBPlusTree(TreeEnvironment(page_size=1024, buffer_pages=256))
+    build_mature_tree(tree, w, bulk_fraction=0.8)
+    assert tree.num_entries == 3000
+    tree.validate()
+    for key, tid in zip(w.keys[::97].tolist(), w.tids[::97].tolist()):
+        assert tree.search(int(key)) == int(tid)
