@@ -12,10 +12,20 @@ index-only ``SELECT COUNT(*)`` scan over a many-disk table, with
 Three execution modes mirror the paper's three curves: plain demand-paged
 scan ("no prefetch"), jump-pointer-array prefetching ("with prefetch"), and
 a preloaded buffer pool ("in memory" — the attainable floor).
+
+:meth:`MiniDbms.scan` additionally survives an unhealthy array: a
+:class:`~repro.faults.FaultPlan` injects deterministic faults, a
+:class:`~repro.storage.RetryPolicy` plus optional mirrored striping and
+hedged reads recovers from them, and a query deadline drives a
+**degradation ladder** — hedged reads first, then plain retries, then
+skip-prefetch demand paging — shedding optional I/O as the deadline nears.
+Faults cost time, never correctness: the row count is identical to a
+fault-free run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional
 
@@ -24,25 +34,41 @@ import numpy as np
 from ..btree.context import TreeEnvironment
 from ..core.disk_first import DiskFirstFpTree
 from ..des import Environment, Store
+from ..faults import FaultInjector, FaultPlan, StorageFault
 from ..storage.buffer import BufferPool
 from ..storage.config import DiskParameters, StorageConfig
 from ..storage.disk import DiskArray
-from ..storage.prefetch import AsyncPageReader
+from ..storage.prefetch import AsyncPageReader, RetryPolicy
 from ..workloads.generator import KeyWorkload, build_mature_tree
 from .table import DEFAULT_SCHEMA, HeapTable, RowSchema
 
 __all__ = ["MiniDbms", "QueryStats"]
 
+#: Degradation ladder thresholds, as fractions of the query deadline: past
+#: the first, hedging is shed; past the second, prefetching too.
+DEGRADE_HEDGE_AT = 0.6
+DEGRADE_PREFETCH_AT = 0.85
+
 
 @dataclass(frozen=True)
 class QueryStats:
-    """Outcome of one query execution."""
+    """Outcome of one query execution, including its resilience history."""
 
     elapsed_us: float
     pages_scanned: int
     disk_reads: int
     prefetches: int
     row_count: int
+    # Fault/recovery accounting (all zero on a healthy, undeadlined run).
+    faults_seen: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    backoff_us: float = 0.0
+    hedges: int = 0
+    hedge_wins: int = 0
+    checksum_failures: int = 0
+    degradation_level: int = 0
+    deadline_exceeded: bool = False
 
     @property
     def elapsed_s(self) -> float:
@@ -126,12 +152,52 @@ class MiniDbms:
         in_memory: bool = False,
         page_process_us: float = 2000.0,
         pool_frames: Optional[int] = None,
+        **resilience,
     ) -> QueryStats:
-        """Execute ``SELECT COUNT(*)`` via an index-only leaf scan."""
+        """Execute ``SELECT COUNT(*)`` via an index-only leaf scan.
+
+        Extra keyword arguments (``fault_plan``, ``retry_policy``,
+        ``mirrored``, ``deadline_us``, ``hedge``) pass through to
+        :meth:`scan`.
+        """
+        return self.scan(
+            smp_degree=smp_degree,
+            prefetchers=prefetchers,
+            in_memory=in_memory,
+            page_process_us=page_process_us,
+            pool_frames=pool_frames,
+            **resilience,
+        )
+
+    def scan(
+        self,
+        smp_degree: int = 1,
+        prefetchers: int = 0,
+        in_memory: bool = False,
+        page_process_us: float = 2000.0,
+        pool_frames: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        mirrored: bool = False,
+        deadline_us: Optional[float] = None,
+        hedge: bool = True,
+    ) -> QueryStats:
+        """Index-only leaf scan with fault injection and graceful degradation.
+
+        ``fault_plan`` injects deterministic faults (seeded — two runs with
+        the same plan produce bit-identical :class:`QueryStats`).  A
+        ``retry_policy`` is installed automatically whenever a fault plan is
+        present; ``mirrored`` places every page on two spindles, enabling
+        retry-on-mirror and (with ``hedge``) hedged reads.  ``deadline_us``
+        arms the degradation ladder: past 60% of the deadline hedging is
+        shed, past 85% prefetching too, leaving plain demand paging.
+        """
         if smp_degree < 1:
             raise ValueError("smp_degree must be >= 1")
         if prefetchers < 0:
             raise ValueError("prefetchers must be >= 0")
+        if deadline_us is not None and deadline_us <= 0:
+            raise ValueError(f"deadline_us must be positive, got {deadline_us}")
         leaf_pids = self.index.leaf_page_ids()
         frames = pool_frames if pool_frames is not None else len(leaf_pids) + 64
         config = StorageConfig(
@@ -140,10 +206,20 @@ class MiniDbms:
             buffer_pool_pages=frames,
             disk=self.disk_params,
         )
+        injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        policy = retry_policy
+        if policy is None and fault_plan is not None:
+            policy = RetryPolicy()
+        if policy is not None and mirrored and hedge and policy.hedge_after_us is None:
+            # Hedge once the primary has been quiet 1.5x a nominal random read.
+            nominal = self.disk_params.service_time_us(-1, 0, self.page_size)
+            policy = dataclasses.replace(policy, hedge_after_us=1.5 * nominal)
         env = Environment()
-        disks = DiskArray(env, config)
+        disks = DiskArray(env, config, injector=injector, mirrored=mirrored)
         pool = BufferPool(config, self.store)
-        reader = AsyncPageReader(env, disks, pool)
+        seed = fault_plan.seed if fault_plan is not None else 0
+        reader = AsyncPageReader(env, disks, pool, policy=policy, seed=seed)
+        reader.hedge_enabled = hedge
         if in_memory:
             reader.preload(leaf_pids)
 
@@ -158,19 +234,45 @@ class MiniDbms:
         row_count = 0
         request_queue = Store(env)
         window = 4 * max(1, prefetchers)
+        max_level = 0
+
+        def current_level() -> int:
+            if deadline_us is None:
+                return 0
+            if env.now >= DEGRADE_PREFETCH_AT * deadline_us:
+                return 2
+            if env.now >= DEGRADE_HEDGE_AT * deadline_us:
+                return 1
+            return 0
+
+        def degrade() -> None:
+            """Shed optional I/O as the deadline approaches (never re-arms)."""
+            nonlocal max_level
+            level = current_level()
+            if level <= max_level:
+                return
+            max_level = level
+            if level >= 1:
+                reader.hedge_enabled = False
+            if level >= 2:
+                reader.prefetch_enabled = False
 
         def prefetcher():
             while True:
                 pid = yield request_queue.get()
                 event = reader.prefetch(pid)
                 if event is not None:
-                    yield event  # an I/O server is busy for the duration
+                    try:
+                        yield event  # an I/O server is busy for the duration
+                    except StorageFault:
+                        pass  # the demand path will recover (or report)
 
         def scanner(segment):
             nonlocal row_count
             issued = 0
             for index, pid in enumerate(segment):
-                if prefetchers:
+                degrade()
+                if prefetchers and reader.prefetch_enabled:
                     while issued < min(index + window, len(segment)):
                         request_queue.put(segment[issued])
                         issued += 1
@@ -189,6 +291,15 @@ class MiniDbms:
             disk_reads=disks.total_reads,
             prefetches=reader.prefetches,
             row_count=row_count,
+            faults_seen=reader.faults_seen,
+            retries=reader.retries,
+            timeouts=reader.timeouts,
+            backoff_us=reader.backoff_us,
+            hedges=reader.hedges,
+            hedge_wins=reader.hedge_wins,
+            checksum_failures=pool.checksum_failures,
+            degradation_level=max_level,
+            deadline_exceeded=deadline_us is not None and env.now > deadline_us,
         )
 
     # -- point access (used by examples/tests) -------------------------------------

@@ -1,5 +1,6 @@
 """Discrete-event simulation kernel (simpy-flavoured, dependency-free)."""
 
+from .control import WaitTimeout, first_success, with_timeout
 from .core import AllOf, AnyOf, Environment, Event, Process, SimulationError, Timeout
 from .resources import PriorityStore, Request, Resource, Store
 
@@ -15,4 +16,7 @@ __all__ = [
     "Request",
     "Resource",
     "Store",
+    "WaitTimeout",
+    "first_success",
+    "with_timeout",
 ]

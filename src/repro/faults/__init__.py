@@ -1,0 +1,31 @@
+"""Fault injection and resilience for the storage/DBMS stack.
+
+Declarative :class:`FaultPlan`\\ s describe per-disk error rates, limping
+latency and permanent failures; a seeded :class:`FaultInjector` replays them
+deterministically on the DES clock.  Detection (page checksums) and recovery
+(retries, hedged reads, degraded-mode scans) live in :mod:`repro.storage`
+and :mod:`repro.dbms`, built on the typed exceptions defined here.
+"""
+
+from .errors import (
+    DiskFailedError,
+    DiskTimeoutError,
+    PageChecksumError,
+    ReadFailedError,
+    StorageFault,
+)
+from .injector import FaultDecision, FaultInjector, ReadOutcome
+from .plan import DiskFaultProfile, FaultPlan
+
+__all__ = [
+    "DiskFaultProfile",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultInjector",
+    "ReadOutcome",
+    "StorageFault",
+    "DiskTimeoutError",
+    "DiskFailedError",
+    "PageChecksumError",
+    "ReadFailedError",
+]

@@ -1,0 +1,82 @@
+"""Typed exceptions for the storage fault model.
+
+Every failure the fault injector can surface — and every failure the
+resilience layer can conclude — has its own exception class, so callers can
+distinguish "retry might help" (:class:`DiskTimeoutError`,
+:class:`PageChecksumError`) from "this spindle is gone"
+(:class:`DiskFailedError`) from "recovery was attempted and exhausted"
+(:class:`ReadFailedError`).  All inherit :class:`StorageFault`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "StorageFault",
+    "DiskTimeoutError",
+    "DiskFailedError",
+    "PageChecksumError",
+    "ReadFailedError",
+]
+
+
+class StorageFault(Exception):
+    """Base class for every storage-stack failure."""
+
+
+class DiskTimeoutError(StorageFault):
+    """A disk command stalled and was declared lost (transient).
+
+    The spindle itself survives; retrying the read — on this disk or a
+    mirror — is expected to succeed.
+    """
+
+    def __init__(self, disk_id: int, page_id: int, stalled_us: float) -> None:
+        self.disk_id = disk_id
+        self.page_id = page_id
+        self.stalled_us = stalled_us
+        super().__init__(
+            f"read of page {page_id} on disk {disk_id} timed out after {stalled_us:.0f}us"
+        )
+
+
+class DiskFailedError(StorageFault):
+    """The disk has failed permanently; no command on it will ever succeed."""
+
+    def __init__(self, disk_id: int, page_id: int, failed_at_us: float) -> None:
+        self.disk_id = disk_id
+        self.page_id = page_id
+        self.failed_at_us = failed_at_us
+        super().__init__(
+            f"disk {disk_id} failed permanently at t={failed_at_us:.0f}us "
+            f"(read of page {page_id} rejected)"
+        )
+
+
+class PageChecksumError(StorageFault):
+    """A page arrived at the buffer pool with a checksum mismatch.
+
+    Raised at the buffer-pool fill boundary, before the bad page becomes
+    visible to any reader; a retry re-reads the page (or its mirror).
+    """
+
+    def __init__(self, page_id: int, expected: int, actual: int) -> None:
+        self.page_id = page_id
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"checksum mismatch on page {page_id}: "
+            f"expected {expected:#010x}, got {actual:#010x}"
+        )
+
+
+class ReadFailedError(StorageFault):
+    """A reliable read gave up: every attempt allowed by the policy failed."""
+
+    def __init__(self, page_id: int, attempts: int, last_error: Optional[BaseException]) -> None:
+        self.page_id = page_id
+        self.attempts = attempts
+        self.last_error = last_error
+        detail = f": last error: {last_error}" if last_error is not None else ""
+        super().__init__(f"read of page {page_id} failed after {attempts} attempts{detail}")

@@ -1,0 +1,148 @@
+"""Declarative fault plans for the disk-array simulator.
+
+A :class:`FaultPlan` describes *what can go wrong* — per-disk latent-sector
+error rates, transient-timeout rates, a permanent failure time, and "limping
+disk" latency multipliers — without saying anything about *when each fault
+fires*.  The :class:`~repro.faults.injector.FaultInjector` turns a plan plus
+a seed into a deterministic per-read fault stream, so every experiment is
+bit-for-bit reproducible.
+
+Rates are per-read probabilities; times are simulation microseconds (the
+storage layer's unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = ["DiskFaultProfile", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class DiskFaultProfile:
+    """Fault behaviour of one disk.
+
+    ``corrupt_rate``
+        Probability that a read completes but delivers corrupted data
+        (a latent sector error surfacing).  Caught by the page checksum at
+        the buffer-pool fill boundary.
+    ``timeout_rate``
+        Probability that a read stalls and is eventually declared lost by
+        the device (a transient timeout).  Retrying is expected to succeed.
+    ``fail_at_us``
+        If set, the disk fails permanently at this simulation time; every
+        later command is rejected with :class:`DiskFailedError`.
+    ``limp_factor`` / ``limp_after_us``
+        From ``limp_after_us`` onward, every service time on this disk is
+        multiplied by ``limp_factor`` — the classic "limping" (fail-slow)
+        disk that drags down an otherwise healthy array.
+    """
+
+    corrupt_rate: float = 0.0
+    timeout_rate: float = 0.0
+    fail_at_us: Optional[float] = None
+    limp_factor: float = 1.0
+    limp_after_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("corrupt_rate", "timeout_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.fail_at_us is not None and self.fail_at_us < 0:
+            raise ValueError(f"fail_at_us must be >= 0, got {self.fail_at_us}")
+        if self.limp_factor < 1.0:
+            raise ValueError(f"limp_factor must be >= 1, got {self.limp_factor}")
+        if self.limp_after_us < 0:
+            raise ValueError(f"limp_after_us must be >= 0, got {self.limp_after_us}")
+
+    @property
+    def is_clean(self) -> bool:
+        """True if this profile can never perturb a read."""
+        return (
+            self.corrupt_rate == 0.0
+            and self.timeout_rate == 0.0
+            and self.fail_at_us is None
+            and self.limp_factor == 1.0
+        )
+
+    def limp_multiplier(self, now_us: float) -> float:
+        """Service-time multiplier in effect at ``now_us``."""
+        return self.limp_factor if now_us >= self.limp_after_us else 1.0
+
+    def failed(self, now_us: float) -> bool:
+        """True if the disk has permanently failed by ``now_us``."""
+        return self.fail_at_us is not None and now_us >= self.fail_at_us
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, whole-array fault scenario.
+
+    ``default`` applies to every disk without an entry in ``disks``.
+    ``timeout_stall_multiplier`` controls how long a timed-out command
+    occupies its spindle (relative to the nominal service time) before the
+    device gives up — lost commands are not free.
+    ``failed_response_us`` is how quickly a dead disk rejects a command.
+    """
+
+    seed: int = 0
+    default: DiskFaultProfile = field(default_factory=DiskFaultProfile)
+    disks: Mapping[int, DiskFaultProfile] = field(default_factory=dict)
+    timeout_stall_multiplier: float = 8.0
+    failed_response_us: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_stall_multiplier < 1.0:
+            raise ValueError(
+                f"timeout_stall_multiplier must be >= 1, got {self.timeout_stall_multiplier}"
+            )
+        if self.failed_response_us < 0:
+            raise ValueError(f"failed_response_us must be >= 0, got {self.failed_response_us}")
+        for disk_id in self.disks:
+            if disk_id < 0:
+                raise ValueError(f"disk ids must be >= 0, got {disk_id}")
+
+    def profile(self, disk_id: int) -> DiskFaultProfile:
+        """Fault profile in effect for ``disk_id``."""
+        return self.disks.get(disk_id, self.default)
+
+    @property
+    def is_clean(self) -> bool:
+        """True if no disk can ever see a fault under this plan."""
+        return self.default.is_clean and all(p.is_clean for p in self.disks.values())
+
+    # -- common scenarios ----------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls,
+        corrupt_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Every disk shares the same error rates."""
+        return cls(
+            seed=seed,
+            default=DiskFaultProfile(corrupt_rate=corrupt_rate, timeout_rate=timeout_rate),
+        )
+
+    @classmethod
+    def limping_disk(
+        cls,
+        disk_id: int,
+        factor: float = 10.0,
+        after_us: float = 0.0,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """One fail-slow disk in an otherwise healthy array."""
+        return cls(
+            seed=seed,
+            disks={disk_id: DiskFaultProfile(limp_factor=factor, limp_after_us=after_us)},
+        )
+
+    @classmethod
+    def disk_failure(cls, disk_id: int, at_us: float, seed: int = 0) -> "FaultPlan":
+        """One disk fails permanently at ``at_us``."""
+        return cls(seed=seed, disks={disk_id: DiskFaultProfile(fail_at_us=at_us)})

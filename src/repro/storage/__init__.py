@@ -1,17 +1,22 @@
-"""Storage substrate: page store, CLOCK buffer pool, DES disk array, prefetch."""
+"""Storage substrate: page store, CLOCK buffer pool, DES disk array, prefetch,
+plus the resilience layer (checksums, retries, hedged reads)."""
 
-from .buffer import BufferPool
+from .buffer import BufferPool, BufferPoolExhausted
 from .config import DiskParameters, StorageConfig
-from .disk import Disk, DiskArray
-from .pager import PageStore
-from .prefetch import AsyncPageReader
+from .disk import Disk, DiskArray, ReadReceipt
+from .pager import PageStore, page_checksum
+from .prefetch import AsyncPageReader, RetryPolicy
 
 __all__ = [
     "BufferPool",
+    "BufferPoolExhausted",
     "DiskParameters",
     "StorageConfig",
     "Disk",
     "DiskArray",
+    "ReadReceipt",
     "PageStore",
+    "page_checksum",
     "AsyncPageReader",
+    "RetryPolicy",
 ]

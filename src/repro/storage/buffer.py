@@ -18,12 +18,34 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
+from ..faults.errors import PageChecksumError
 from ..mem.hierarchy import MemorySystem
 from ..mem.layout import AddressSpace
 from .config import StorageConfig
 from .pager import PageStore
 
-__all__ = ["BufferPool"]
+__all__ = ["BufferPool", "BufferPoolExhausted"]
+
+
+class BufferPoolExhausted(RuntimeError):
+    """Every frame is pinned; no victim exists.
+
+    Carries pin diagnostics so the caller can see *who* is holding the pool
+    hostage instead of guessing from a bare "exhausted" message.
+    """
+
+    def __init__(self, frames: int, pinned_pages: dict[int, int]) -> None:
+        self.frames = frames
+        self.pinned_pages = dict(pinned_pages)
+        preview = ", ".join(
+            f"page {pid} (pins={count})" for pid, count in list(pinned_pages.items())[:8]
+        )
+        if len(pinned_pages) > 8:
+            preview += f", ... {len(pinned_pages) - 8} more"
+        super().__init__(
+            f"buffer pool exhausted: all {frames} frames pinned "
+            f"({len(pinned_pages)} pinned pages: {preview})"
+        )
 
 
 class BufferPool:
@@ -39,6 +61,11 @@ class BufferPool:
         self.config = config
         self.store = store
         self.mem = mem
+        #: Verify page checksums on every fill (miss install).  On by
+        #: default: the check is cheap and catches media rot at the exact
+        #: boundary where a bad page would become visible to readers.
+        self.verify_checksums = True
+        self.checksum_failures = 0
         frames = config.buffer_pool_pages
         self._frame_page: list[int] = [-1] * frames
         self._ref_bit = bytearray(frames)
@@ -104,9 +131,32 @@ class BufferPool:
             frame = self._install(page_id)
         return self.frame_address(frame)
 
+    def fill(self, page_id: int, delivered_checksum: Optional[int] = None) -> tuple[Any, int]:
+        """Install a page arriving from disk, verifying its checksum.
+
+        ``delivered_checksum`` is the checksum of the bits as the disk
+        delivered them (the reader computes it from the read receipt); it is
+        compared against the checksum recorded at write time, so both media
+        rot and in-flight corruption are caught here — before the page is
+        visible to any reader — with a typed :class:`PageChecksumError`.
+        """
+        if delivered_checksum is not None:
+            expected = self.store.expected_checksum(page_id)
+            if delivered_checksum != expected:
+                self.checksum_failures += 1
+                raise PageChecksumError(page_id, expected, delivered_checksum)
+        return self.access(page_id)
+
     def _install(self, page_id: int) -> int:
         if page_id not in self.store:
             raise KeyError(f"page {page_id} does not exist in the store")
+        if self.verify_checksums and not self.store.verify_checksum(page_id):
+            self.checksum_failures += 1
+            raise PageChecksumError(
+                page_id,
+                self.store.expected_checksum(page_id),
+                self.store.checksum(page_id),
+            )
         frame = self._find_victim()
         old = self._frame_page[frame]
         if old >= 0:
@@ -129,7 +179,12 @@ class BufferPool:
                 self._ref_bit[frame] = 0
                 continue
             return frame
-        raise RuntimeError("buffer pool exhausted: all frames pinned")
+        pinned = {
+            self._frame_page[frame]: self._pin_count[frame]
+            for frame in range(frames)
+            if self._pin_count[frame] > 0
+        }
+        raise BufferPoolExhausted(frames, pinned)
 
     # -- pinning -------------------------------------------------------------
 
@@ -165,3 +220,4 @@ class BufferPool:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.checksum_failures = 0

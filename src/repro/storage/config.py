@@ -23,6 +23,20 @@ class DiskParameters:
     transfer_rate_bytes_per_us: float = 40.0  # 40 MB/s sustained
     sequential_window_blocks: int = 16  # |Δblock| below this counts as "near"
 
+    def __post_init__(self) -> None:
+        if self.transfer_rate_bytes_per_us <= 0:
+            raise ValueError(
+                f"transfer_rate_bytes_per_us must be positive, got {self.transfer_rate_bytes_per_us}"
+            )
+        for name in ("seek_time_us", "rotational_latency_us", "track_to_track_us"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.sequential_window_blocks < 0:
+            raise ValueError(
+                f"sequential_window_blocks must be >= 0, got {self.sequential_window_blocks}"
+            )
+
     def service_time_us(self, previous_block: int, block: int, nbytes: int) -> float:
         """Time to position and transfer ``nbytes`` at ``block``.
 

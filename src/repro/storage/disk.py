@@ -6,14 +6,45 @@ far the head must move from the previous request's block.  Pages are striped
 round-robin across disks (``page_id % num_disks``), which is what lets
 jump-pointer-array prefetching overlap seeks on different spindles — the
 mechanism behind the paper's Figure 18 speedups.
+
+Two resilience hooks extend the fair-weather model:
+
+* an optional :class:`~repro.faults.FaultInjector` perturbs individual
+  reads — limped latency, transient timeouts (the command stalls, occupies
+  the spindle, then fails with :class:`DiskTimeoutError`), corrupted
+  deliveries (flagged on the :class:`ReadReceipt`, caught by the page
+  checksum at the buffer pool), and permanent disk failures
+  (:class:`DiskFailedError`);
+* **mirrored striping** places every page on two spindles (chained
+  declustering: the mirror of disk *d* is disk *d+1*), which is what makes
+  retries and hedged reads useful against a slow or dead primary.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Optional
+
 from ..des import Environment, Event, Resource
+from ..faults.errors import DiskFailedError, DiskTimeoutError
+from ..faults.injector import FaultInjector, ReadOutcome
 from .config import StorageConfig
 
-__all__ = ["Disk", "DiskArray"]
+__all__ = ["Disk", "DiskArray", "ReadReceipt"]
+
+
+@dataclass(frozen=True)
+class ReadReceipt:
+    """What a completed disk read hands back to the reader.
+
+    ``corrupt`` means the device delivered data whose bits no longer match
+    the stored checksum — the reader must not install the page.
+    """
+
+    page_id: int
+    disk_id: int
+    service_us: float
+    corrupt: bool = False
 
 
 class Disk:
@@ -27,35 +58,105 @@ class Disk:
         self.head_block = -1
         self.reads = 0
         self.busy_time_us = 0.0
+        self.faults = 0
 
-    def service(self, block: int, nbytes: int):
-        """Process generator: seize the disk, seek + transfer, release."""
+    def service(self, block: int, nbytes: int, page_id: int = -1):
+        """Process generator: seize the disk, seek + transfer, release.
+
+        Returns a :class:`ReadReceipt`, or raises a typed fault if the
+        injector (when present) decides this read fails.
+        """
         with self.resource.request() as grant:
             yield grant
+            injector = self.array.injector
             duration = self.array.config.disk.service_time_us(self.head_block, block, nbytes)
+            if injector is None:
+                self.head_block = block
+                self.reads += 1
+                self.busy_time_us += duration
+                yield self.env.timeout(duration)
+                return ReadReceipt(page_id, self.disk_id, duration)
+
+            decision = injector.decide(self.disk_id, self.env.now)
+            if decision.outcome is ReadOutcome.DISK_FAILED:
+                # A dead disk rejects the command quickly; the head is gone.
+                response = injector.plan.failed_response_us
+                self.faults += 1
+                yield self.env.timeout(response)
+                raise DiskFailedError(
+                    self.disk_id, page_id, injector.profile(self.disk_id).fail_at_us or 0.0
+                )
+            duration *= decision.latency_multiplier
             self.head_block = block
             self.reads += 1
+            if decision.outcome is ReadOutcome.TIMEOUT:
+                # The command stalls and occupies the spindle until the
+                # device declares it lost — lost commands are not free.
+                stall = duration * injector.plan.timeout_stall_multiplier
+                self.faults += 1
+                self.busy_time_us += stall
+                yield self.env.timeout(stall)
+                raise DiskTimeoutError(self.disk_id, page_id, stall)
             self.busy_time_us += duration
             yield self.env.timeout(duration)
+            if decision.outcome is ReadOutcome.CORRUPT:
+                self.faults += 1
+            return ReadReceipt(
+                page_id,
+                self.disk_id,
+                duration,
+                corrupt=decision.outcome is ReadOutcome.CORRUPT,
+            )
 
 
 class DiskArray:
-    """A bank of disks with round-robin page striping."""
+    """A bank of disks with round-robin page striping.
 
-    def __init__(self, env: Environment, config: StorageConfig) -> None:
+    With ``mirrored=True`` every page also lives on the next spindle
+    (chained declustering), at the same block position; readers choose a
+    replica via ``read_page(page_id, replica=...)``.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: StorageConfig,
+        injector: Optional[FaultInjector] = None,
+        mirrored: bool = False,
+    ) -> None:
+        if mirrored and config.num_disks < 2:
+            raise ValueError("mirrored striping needs at least two disks")
         self.env = env
         self.config = config
+        self.injector = injector
+        self.mirrored = mirrored
         self.disks = [Disk(env, self, i) for i in range(config.num_disks)]
         self.total_reads = 0
 
-    def read_page(self, page_id: int) -> Event:
-        """Start an asynchronous page read; the event fires on completion."""
+    @property
+    def replicas_per_page(self) -> int:
+        return 2 if self.mirrored else 1
+
+    def replica_disks(self, page_id: int) -> list[int]:
+        """Disk ids holding a copy of ``page_id`` (primary first)."""
+        primary = self.config.disk_of(page_id)
+        if not self.mirrored:
+            return [primary]
+        return [primary, (primary + 1) % self.config.num_disks]
+
+    def read_page(self, page_id: int, replica: int = 0) -> Event:
+        """Start an asynchronous page read; the event fires on completion.
+
+        ``replica`` selects which copy to read (modulo the replica count),
+        so retry loops can simply pass their attempt number.
+        """
         if page_id < 0:
             raise ValueError(f"invalid page id {page_id}")
         self.total_reads += 1
-        disk = self.disks[self.config.disk_of(page_id)]
+        disks = self.replica_disks(page_id)
+        disk = self.disks[disks[replica % len(disks)]]
         block = self.config.block_of(page_id)
-        return self.env.process(disk.service(block, self.config.page_size))
+        return self.env.process(disk.service(block, self.config.page_size, page_id))
 
     def utilization(self) -> list[float]:
         """Fraction of elapsed time each disk spent servicing requests."""

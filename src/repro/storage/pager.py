@@ -6,13 +6,29 @@ The :class:`PageStore` owns the mapping from page ids to page objects.  A
 integers so that striding them across a disk array is trivial, and freed ids
 are recycled so space-overhead measurements (paper Figure 16) reflect real
 page counts.
+
+Every write (``allocate``/``place``/``replace``) also stamps a **page
+checksum**.  Page objects are opaque, so the store models a page's bit
+content with a per-page *media token*: the checksum recorded at write time
+is a CRC over ``(page_id, token)``, and fault injection corrupts a page by
+flipping bits in the token without restamping.  :meth:`checksum` recomputes
+the CRC from the current token ("hash the bits as they are now");
+:meth:`expected_checksum` returns the value recorded at write time — a
+mismatch means the media rotted underneath us, exactly the latent-sector
+errors the resilience layer must catch at the buffer-pool boundary.
 """
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Iterator, Optional
 
-__all__ = ["PageStore"]
+__all__ = ["PageStore", "page_checksum"]
+
+
+def page_checksum(page_id: int, token: int) -> int:
+    """CRC-32 of a page's simulated bit content."""
+    return zlib.crc32(f"{page_id}:{token}".encode())
 
 
 class PageStore:
@@ -25,8 +41,50 @@ class PageStore:
         self._pages: dict[int, Any] = {}
         self._free_ids: list[int] = []
         self._next_id = 0
+        self._tokens: dict[int, int] = {}
+        self._checksums: dict[int, int] = {}
+        self._write_counter = 0
         self.allocations = 0
         self.frees = 0
+
+    # -- checksums -----------------------------------------------------------
+
+    def _stamp(self, page_id: int) -> None:
+        """Record the checksum of a page's content as of this write."""
+        self._write_counter += 1
+        token = self._write_counter
+        self._tokens[page_id] = token
+        self._checksums[page_id] = page_checksum(page_id, token)
+
+    def checksum(self, page_id: int) -> int:
+        """Checksum of the page's bits *as stored right now*."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        return page_checksum(page_id, self._tokens[page_id])
+
+    def expected_checksum(self, page_id: int) -> int:
+        """Checksum recorded when the page was last written."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        return self._checksums[page_id]
+
+    def verify_checksum(self, page_id: int) -> bool:
+        """True if the page's current bits still match the written checksum."""
+        return self.checksum(page_id) == self._checksums[page_id]
+
+    def corrupt_page(self, page_id: int) -> None:
+        """Flip bits in a page's media (fault injection / chaos tests)."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._tokens[page_id] ^= 0x5A5A5A5A
+
+    def scrub(self, page_id: int) -> None:
+        """Rewrite a page's media from its (intact) page object, restamping."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._stamp(page_id)
+
+    # -- allocation ----------------------------------------------------------
 
     def allocate(self, page: Any) -> int:
         """Store a new page, returning its page id."""
@@ -36,6 +94,7 @@ class PageStore:
             page_id = self._next_id
             self._next_id += 1
         self._pages[page_id] = page
+        self._stamp(page_id)
         self.allocations += 1
         return page_id
 
@@ -44,6 +103,8 @@ class PageStore:
         if page_id not in self._pages:
             raise KeyError(f"page {page_id} is not allocated")
         del self._pages[page_id]
+        del self._tokens[page_id]
+        del self._checksums[page_id]
         self._free_ids.append(page_id)
         self.frees += 1
 
@@ -54,6 +115,7 @@ class PageStore:
         if page_id in self._pages:
             raise KeyError(f"page {page_id} is already allocated")
         self._pages[page_id] = page
+        self._stamp(page_id)
         self._next_id = max(self._next_id, page_id + 1)
         self.allocations += 1
 
@@ -75,6 +137,7 @@ class PageStore:
         if page_id not in self._pages:
             raise KeyError(f"page {page_id} is not allocated")
         self._pages[page_id] = page
+        self._stamp(page_id)
 
     def __contains__(self, page_id: int) -> bool:
         return page_id in self._pages

@@ -209,6 +209,81 @@ def test_pbtree_random_ops(operations):
     _check_index_against_dict(lambda: PrefetchingBPlusTree(width_lines=2), operations)
 
 
+# -- faults only cost time, never correctness ----------------------------------------------
+
+
+def _des_leaf_scan(index, plan):
+    """Scan an index's leaf pages through the DES reader; returns the entry total."""
+    from repro.des import Environment
+    from repro.faults import FaultInjector
+    from repro.storage import AsyncPageReader, BufferPool, DiskArray, RetryPolicy, StorageConfig
+
+    leaf_pids = index.leaf_page_ids()
+    store = index.env.store
+    config = StorageConfig(
+        page_size=store.page_size,
+        num_disks=2,
+        buffer_pool_pages=len(leaf_pids) + 8,
+    )
+    env = Environment()
+    injector = FaultInjector(plan) if plan is not None else None
+    disks = DiskArray(env, config, injector=injector, mirrored=True)
+    pool = BufferPool(config, store)
+    policy = RetryPolicy(max_attempts=8) if plan is not None else None
+    reader = AsyncPageReader(env, disks, pool, policy=policy, seed=plan.seed if plan else 0)
+    total = 0
+
+    def scanner():
+        nonlocal total
+        for pid in leaf_pids:
+            yield from reader.demand(pid)
+            total += store.page(pid).count
+
+    env.run(until=env.process(scanner()))
+    return total
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), st.integers(1, 400)),
+        min_size=1,
+        max_size=80,
+    ),
+    fault_seed=st.integers(0, 7),
+)
+def test_faulty_scan_preserves_tree_invariants_and_results(operations, fault_seed):
+    """Random workloads + a nonzero fault plan: faults cost time, never answers."""
+    from repro.baselines import DiskBPlusTree
+    from repro.faults import DiskFaultProfile, FaultPlan
+
+    index = DiskBPlusTree(TreeEnvironment(page_size=512, buffer_pages=128))
+    reference: dict[int, int] = {}
+    for op, key in operations:
+        if op == "insert":
+            if key not in reference:
+                index.insert(key, key + 1)
+                reference[key] = key + 1
+        else:
+            index.delete(key)
+            reference.pop(key, None)
+    index.validate()
+    before_items = list(index.items())
+
+    plan = FaultPlan(
+        seed=fault_seed,
+        default=DiskFaultProfile(corrupt_rate=0.1, timeout_rate=0.05),
+    )
+    faulty_total = _des_leaf_scan(index, plan)
+    clean_total = _des_leaf_scan(index, None)
+    assert faulty_total == clean_total == index.num_entries
+
+    # The faulty scan left the tree structurally intact and its answers unchanged.
+    index.validate()
+    assert list(index.items()) == before_items
+    assert before_items == sorted(reference.items())
+
+
 # -- scan consistency across implementations -----------------------------------------------
 
 

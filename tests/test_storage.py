@@ -349,3 +349,102 @@ def test_preload_marks_resident():
     reader.preload(pids)
     for pid in pids:
         assert pool.contains(pid)
+
+
+# -- in-flight coalescing edge cases --------------------------------------------
+
+
+def _seed_with_outcomes(timeout_rate, wanted):
+    """A seed whose successive reads on disk 0 time out per ``wanted``."""
+    import random
+
+    for seed in range(1000):
+        stream = random.Random((seed << 20) ^ 1)
+        got = []
+        for __ in wanted:
+            timeout_draw = stream.random()
+            stream.random()  # corrupt draw
+            got.append(timeout_draw < timeout_rate)
+        if got == list(wanted):
+            return seed
+    raise AssertionError("no suitable seed in range")
+
+
+def faulty_reader_fixture(wanted_timeouts):
+    """Reader over a single disk whose reads time out per ``wanted_timeouts``."""
+    from repro.faults import DiskFaultProfile, FaultInjector, FaultPlan
+
+    rate = 0.5
+    plan = FaultPlan(
+        seed=_seed_with_outcomes(rate, wanted_timeouts),
+        default=DiskFaultProfile(timeout_rate=rate),
+    )
+    env = Environment()
+    config = StorageConfig(
+        page_size=4096, num_disks=1, buffer_pool_pages=16, disk=timing_config().disk
+    )
+    store = PageStore(config.page_size)
+    pool = BufferPool(config, store)
+    array = DiskArray(env, config, injector=FaultInjector(plan))
+    reader = AsyncPageReader(env, array, pool)
+    return env, store, pool, reader
+
+
+def test_demand_recovers_when_coalesced_prefetch_fails_mid_flight():
+    """A demand that piggybacked on a failing prefetch issues its own read."""
+    env, store, pool, reader = faulty_reader_fixture([True, False])
+    pid = store.allocate(FakePage("x"))
+
+    def scan():
+        reader.prefetch(pid)
+        yield env.timeout(1)  # arrive while the doomed prefetch is in flight
+        yield from reader.demand(pid)
+
+    env.run(until=env.process(scan()))
+    assert pool.contains(pid)
+    assert reader.prefetches == 1
+    assert reader.demand_covered == 1  # it did coalesce first...
+    assert reader.demand_reads == 1  # ...then fell back to its own read
+
+
+def test_demand_own_read_failure_propagates():
+    """A demand whose *own* read fails (no retry policy) surfaces the fault."""
+    import pytest as _pytest
+
+    from repro.faults import DiskTimeoutError
+
+    env, store, pool, reader = faulty_reader_fixture([True])
+    pid = store.allocate(FakePage("x"))
+
+    def scan():
+        with _pytest.raises(DiskTimeoutError):
+            yield from reader.demand(pid)
+
+    env.run(until=env.process(scan()))
+    assert not pool.contains(pid)
+
+
+def test_duplicate_prefetches_do_not_double_count():
+    env, store, pool, reader = reader_fixture()
+    pid = store.allocate(FakePage("x"))
+
+    def scan():
+        first = reader.prefetch(pid)
+        assert first is not None
+        assert reader.prefetch(pid) is None  # duplicate while in flight
+        assert reader.prefetches == 1
+        yield first
+        assert reader.prefetch(pid) is None  # duplicate once resident
+
+    env.run(until=env.process(scan()))
+    assert reader.prefetches == 1
+    assert pool.contains(pid)
+
+
+def test_prefetch_disabled_by_degradation_switch():
+    env, store, pool, reader = reader_fixture()
+    pid = store.allocate(FakePage("x"))
+    reader.prefetch_enabled = False
+    assert reader.prefetch(pid) is None
+    assert reader.prefetches == 0
+    assert reader.outstanding == 0
