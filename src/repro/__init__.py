@@ -40,7 +40,16 @@ from .core import (
 from .dbms import HeapTable, MiniDbms
 from .image import ImageFormatError, dump_tree_bytes, load_tree, load_tree_bytes, save_tree
 from .mem import CpuCostModel, MemoryConfig, MemorySystem
+from .scrub import ScrubReport, scrub_tree
 from .storage import BufferPool, DiskArray, PageStore, StorageConfig
+from .wal import (
+    CrashImage,
+    RecoveryError,
+    RecoveryStats,
+    WalManager,
+    WriteAheadLog,
+    recover,
+)
 from .workloads import KeyWorkload, build_mature_tree
 
 __version__ = "1.0.0"
@@ -78,6 +87,14 @@ __all__ = [
     "DiskArray",
     "PageStore",
     "StorageConfig",
+    "ScrubReport",
+    "scrub_tree",
+    "CrashImage",
+    "RecoveryError",
+    "RecoveryStats",
+    "WalManager",
+    "WriteAheadLog",
+    "recover",
     "KeyWorkload",
     "build_mature_tree",
     "__version__",

@@ -231,13 +231,15 @@ class DiskBPlusTree(Index):
 
     def insert(self, key: int, tid: int) -> None:
         self.tracer.call_overhead()
-        pid, leaf, base, path = self._descend(key, record_path=True)
-        slot = self._locate_slot(leaf, base, key)
-        if leaf.count < self.layout.capacity:
-            self._insert_into_page(leaf, base, slot, key, tid)
-        else:
-            self._split_and_insert(pid, leaf, path, slot, key, tid, is_leaf=True)
-        self._entries += 1
+        with self._update_txn():
+            pid, leaf, base, path = self._descend(key, record_path=True)
+            slot = self._locate_slot(leaf, base, key)
+            if leaf.count < self.layout.capacity:
+                self._insert_into_page(leaf, base, slot, key, tid)
+                self.store.mark_dirty(pid)
+            else:
+                self._split_and_insert(pid, leaf, path, slot, key, tid, is_leaf=True)
+            self._entries += 1
 
     def _insert_into_page(self, page: DiskPage, base: int, slot: int, key: int, ptr: int) -> None:
         """Shift entries right of ``slot`` and write the new entry."""
@@ -301,6 +303,7 @@ class DiskBPlusTree(Index):
             new_page.prev_leaf = pid
             if page.next_leaf != INVALID_PAGE_ID:
                 self.store.page(page.next_leaf).prev_leaf = new_pid
+                self.store.mark_dirty(page.next_leaf)
             page.next_leaf = new_pid
         self._after_page_rebuild(page, base)
         self._after_page_rebuild(new_page, new_base)
@@ -310,6 +313,8 @@ class DiskBPlusTree(Index):
             self._insert_into_page(page, base, slot, key, ptr)
         else:
             self._insert_into_page(new_page, new_base, slot - half, key, ptr)
+        self.store.mark_dirty(pid)
+        self.store.mark_dirty(new_pid)
 
         separator = int(new_page.keys[0])
         self._insert_into_parent(path, pid, separator, new_pid)
@@ -331,6 +336,7 @@ class DiskBPlusTree(Index):
             base = self.pool.address_of(new_root_pid)
             self.tracer.write(self.layout.key_address(base, 0), 2 * self.layout.key_size)
             self.tracer.write(self.layout.ptr_address(base, 0), 2 * self.layout.ptr_size)
+            self.store.mark_dirty(new_root_pid)
             return
         parent_pid, parent_slot = path[-1]
         parent = self.store.page(parent_pid)
@@ -346,6 +352,7 @@ class DiskBPlusTree(Index):
         slot = parent_slot + 1
         if parent.count < self.layout.capacity:
             self._insert_into_page(parent, base, slot, key, right_pid)
+            self.store.mark_dirty(parent_pid)
         else:
             self._split_and_insert(parent_pid, parent, path[:-1], slot, key, right_pid, is_leaf=False)
 
@@ -353,29 +360,31 @@ class DiskBPlusTree(Index):
 
     def delete(self, key: int) -> bool:
         self.tracer.call_overhead()
-        __, leaf, base, __ = self._descend(key)
-        slot = self._locate_slot(leaf, base, key)
-        if slot >= leaf.count or int(leaf.keys[slot]) != key:
-            return False
-        moved = leaf.count - slot - 1
-        if moved > 0:
-            leaf.keys[slot:leaf.count - 1] = leaf.keys[slot + 1 : leaf.count].copy()
-            leaf.ptrs[slot:leaf.count - 1] = leaf.ptrs[slot + 1 : leaf.count].copy()
-            self.tracer.move(
-                self.layout.key_address(base, slot),
-                self.layout.key_address(base, slot + 1),
-                moved * self.layout.key_size,
-            )
-            self.tracer.move(
-                self.layout.ptr_address(base, slot),
-                self.layout.ptr_address(base, slot + 1),
-                moved * self.layout.ptr_size,
-            )
-        leaf.count -= 1
-        self.tracer.write(base, 4)
-        self._after_entry_removed(leaf, base, slot)
-        self._entries -= 1
-        return True
+        with self._update_txn():
+            pid, leaf, base, __ = self._descend(key)
+            slot = self._locate_slot(leaf, base, key)
+            if slot >= leaf.count or int(leaf.keys[slot]) != key:
+                return False
+            moved = leaf.count - slot - 1
+            if moved > 0:
+                leaf.keys[slot:leaf.count - 1] = leaf.keys[slot + 1 : leaf.count].copy()
+                leaf.ptrs[slot:leaf.count - 1] = leaf.ptrs[slot + 1 : leaf.count].copy()
+                self.tracer.move(
+                    self.layout.key_address(base, slot),
+                    self.layout.key_address(base, slot + 1),
+                    moved * self.layout.key_size,
+                )
+                self.tracer.move(
+                    self.layout.ptr_address(base, slot),
+                    self.layout.ptr_address(base, slot + 1),
+                    moved * self.layout.ptr_size,
+                )
+            leaf.count -= 1
+            self.tracer.write(base, 4)
+            self._after_entry_removed(leaf, base, slot)
+            self._entries -= 1
+            self.store.mark_dirty(pid)
+            return True
 
     # -- range scan --------------------------------------------------------------
 

@@ -27,10 +27,11 @@ from ..core.optimizer import (
     search_cost,
 )
 from ..dbms.engine import MiniDbms, QueryStats
-from ..faults import FaultPlan
+from ..faults import FaultPlan, SimulatedCrash
 from ..mem.config import DEFAULT_CPU, DEFAULT_MEMORY
 from ..mem.hierarchy import MemorySystem
 from ..storage.config import DiskParameters
+from ..wal import WalManager, recover
 from ..workloads.generator import KeyWorkload, build_mature_tree
 from .cache_runner import PAPER_INDEX_ORDER, build_tree, make_index, measure_operations
 from .io_scan import leaf_pids_for_span, timed_range_scan
@@ -51,6 +52,7 @@ __all__ = [
     "fig18",
     "fig19",
     "fault_resilience",
+    "recovery_overhead",
     "ablation_overshoot",
     "ablation_uniform_node_size",
     "ablation_jpa_on_standard_btree",
@@ -692,6 +694,108 @@ def fault_resilience(
     return result
 
 
+def recovery_overhead(
+    num_keys: int = 20_000,
+    num_updates: int = 2_000,
+    page_size: int = 4096,
+    buffer_pages: int = 64,
+    checkpoint_intervals: Sequence[int] = (0, 50, 250),
+    crash_fraction: float = 0.9,
+) -> FigureResult:
+    """Crash consistency: logging overhead and redo recovery time.
+
+    Panel (a) runs the same insert workload under write-ahead logging at
+    several checkpoint intervals (0 = never) and reports what durability
+    costs at runtime: WAL appends and bytes, page forces, and simulated
+    disk-write time per update.  Panel (b) crashes each configuration at
+    ~``crash_fraction`` of its log and measures redo recovery: more
+    frequent checkpoints shift cost from recovery (fewer records to
+    replay) to runtime (more page forces) — the classic trade-off.
+    """
+    result = FigureResult(
+        "recovery",
+        "WAL logging overhead and redo recovery time vs checkpoint interval",
+        [
+            "panel",
+            "checkpoint_interval",
+            "wal_appends",
+            "wal_kb",
+            "pages_flushed",
+            "checkpoints",
+            "write_us_per_op",
+            "records_replayed",
+            "pages_restored",
+            "recovery_us",
+        ],
+    )
+    base_keys = list(range(0, 2 * num_keys, 2))
+    update_keys = list(range(1, 2 * num_updates, 2))
+
+    def fresh():
+        return DiskFirstFpTree(TreeEnvironment(page_size=page_size, buffer_pages=buffer_pages))
+
+    def build():
+        tree = fresh()
+        tree.bulkload(base_keys, [k + 1 for k in base_keys])
+        return tree
+
+    for interval in checkpoint_intervals:
+        # Panel (a): run the whole workload, no crash — pure logging cost.
+        tree = build()
+        wal = WalManager(tree, checkpoint_interval=interval)
+        for key in update_keys:
+            tree.insert(key, key + 1)
+        stats = wal.stats()
+        result.add(
+            panel="a",
+            checkpoint_interval=interval,
+            wal_appends=stats.wal_appends,
+            wal_kb=round(stats.wal_bytes / 1024, 1),
+            pages_flushed=stats.pages_flushed,
+            checkpoints=stats.checkpoints,
+            write_us_per_op=round(stats.write_us / num_updates, 2),
+            records_replayed=0,
+            pages_restored=0,
+            recovery_us=0,
+        )
+        # Panel (b): same workload, crashed at ~crash_fraction of the log,
+        # then redo recovery from the crash image.
+        crash_at = max(1, int(crash_fraction * stats.wal_appends))
+        tree = build()
+        wal = WalManager(
+            tree,
+            plan=FaultPlan.crash_point(wal_appends=crash_at),
+            checkpoint_interval=interval,
+        )
+        try:
+            for key in update_keys:
+                tree.insert(key, key + 1)
+        except SimulatedCrash:
+            pass
+        recovered, rec = recover(wal.crash_state(), fresh)
+        assert recovered.num_entries == num_keys + len(rec.committed_txns)
+        result.add(
+            panel="b",
+            checkpoint_interval=interval,
+            wal_appends=rec.records_scanned,
+            wal_kb=round(rec.valid_wal_bytes / 1024, 1),
+            pages_flushed=0,
+            checkpoints=0,
+            write_us_per_op=0,
+            records_replayed=rec.records_replayed,
+            pages_restored=rec.pages_restored,
+            recovery_us=round(rec.recovery_us, 1),
+        )
+    never = result.filter(panel="b", checkpoint_interval=0)[0]
+    tightest = result.filter(panel="b", checkpoint_interval=min(i for i in checkpoint_intervals if i))[0]
+    result.notes.append(
+        f"redo work: {never['records_replayed']} records with no checkpoints vs "
+        f"{tightest['records_replayed']} at the tightest interval "
+        f"({never['recovery_us']:.0f}us vs {tightest['recovery_us']:.0f}us recovery)"
+    )
+    return result
+
+
 # -- ablations (design choices called out in DESIGN.md) --------------------------------------
 
 
@@ -860,6 +964,7 @@ ALL_EXPERIMENTS = {
     "fig18": fig18,
     "fig19": fig19,
     "fault-resilience": fault_resilience,
+    "recovery": recovery_overhead,
     "ablation-overshoot": ablation_overshoot,
     "ablation-uniform-node-size": ablation_uniform_node_size,
     "ablation-prefetch-depth": ablation_prefetch_depth,

@@ -17,6 +17,7 @@ experiments iterate over them uniformly.  The contract:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -136,6 +137,18 @@ class Index(ABC):
                 yield key, tid
 
     # -- shared conveniences -------------------------------------------------
+
+    def _update_txn(self):
+        """Transaction scope for one update, if crash consistency is on.
+
+        Trees wrap each ``insert``/``delete`` body in this context.  With a
+        :class:`~repro.wal.WalManager` attached to the tree's environment it
+        returns a WAL transaction (multi-page splits become atomic); without
+        one it is a no-op, preserving unlogged behaviour.  Reentrant: an
+        outer transaction (e.g. a DBMS-level row operation) absorbs it.
+        """
+        wal = getattr(getattr(self, "env", None), "wal", None)
+        return wal.transaction() if wal is not None else nullcontext()
 
     @property
     @abstractmethod

@@ -42,6 +42,10 @@ class TreeEnvironment:
         )
         self.store = PageStore(page_size)
         self.pool = BufferPool(self.storage_config, self.store, mem=mem, address_space=self.address_space)
+        #: Write-ahead-log manager, attached by :class:`repro.wal.WalManager`
+        #: when crash consistency is enabled; ``None`` means updates are
+        #: unlogged (the original fair-weather behaviour).
+        self.wal = None
 
     @property
     def line_size(self) -> int:

@@ -257,9 +257,10 @@ class DiskFirstFpTree(Index):
 
     def insert(self, key: int, tid: int) -> None:
         self.tracer.call_overhead()
-        pid, page, base, path = self._descend_to_leaf_page(key, record_path=True)
-        self._insert_entry(pid, page, base, key, tid, path)
-        self._entries += 1
+        with self._update_txn():
+            pid, page, base, path = self._descend_to_leaf_page(key, record_path=True)
+            self._insert_entry(pid, page, base, key, tid, path)
+            self._entries += 1
 
     def _insert_entry(
         self, pid: int, page: FpPage, base: int, key: int, value: int, path_above: list[int]
@@ -273,9 +274,11 @@ class DiskFirstFpTree(Index):
         if node.count < node.capacity:
             self._node_insert(page, base, node, slot, key, value)
             page.total += 1
+            self.store.mark_dirty(pid)
             return
         if self._try_node_split(page, base, node, node_path, slot, key, value):
             page.total += 1
+            self.store.mark_dirty(pid)
             return
         # No room to grow the in-page tree: reorganize or split the page.
         if page.total < self.layout.page_fanout - self.layout.max_leaf_nodes:
@@ -291,6 +294,7 @@ class DiskFirstFpTree(Index):
             elif not self._try_node_split(page, base, node, node_path, slot, key, value):
                 raise IndexCorruptionError("reorganized page still has no room")
             page.total += 1
+            self.store.mark_dirty(pid)
             return
         self._split_page_and_insert(pid, page, base, key, value, path_above)
 
@@ -580,7 +584,10 @@ class DiskFirstFpTree(Index):
             new_page.prev_page = pid
             if page.next_page != INVALID_PAGE_ID:
                 self.store.page(page.next_page).prev_page = new_pid
+                self.store.mark_dirty(page.next_page)
             page.next_page = new_pid
+            self.store.mark_dirty(pid)
+            self.store.mark_dirty(new_pid)
             separator = int(keys_all[half_entries])
             if key < separator:
                 self._insert_entry(pid, page, base, key, value, path_above)
@@ -610,7 +617,10 @@ class DiskFirstFpTree(Index):
         new_page.prev_page = pid
         if page.next_page != INVALID_PAGE_ID:
             self.store.page(page.next_page).prev_page = new_pid
+            self.store.mark_dirty(page.next_page)
         page.next_page = new_pid
+        self.store.mark_dirty(pid)
+        self.store.mark_dirty(new_pid)
         live_right = [n for n in right_nodes if n.count]
         separator = int(live_right[0].keys[0]) if live_right else key
         # Insert the pending entry into the correct half.
@@ -640,6 +650,7 @@ class DiskFirstFpTree(Index):
             )
             self.root_pid = new_root_pid
             self.height += 1
+            self.store.mark_dirty(new_root_pid)
             return
         parent_pid = path_above[-1]
         parent_page, parent_base = self._page(parent_pid)
@@ -681,33 +692,35 @@ class DiskFirstFpTree(Index):
 
     def delete(self, key: int) -> bool:
         self.tracer.call_overhead()
-        __, page, base, __ = self._descend_to_leaf_page(key)
-        node, __ = self._inpage_descend(page, base, key)
-        slot = insertion_slot(
-            node.keys, node.count, key,
-            self.layout.key_address(base, node, 0), self.keyspec.size, self.tracer,
-        )
-        if slot >= node.count or int(node.keys[slot]) != key:
-            return False
-        moved = node.count - slot - 1
-        if moved > 0:
-            node.keys[slot : node.count - 1] = node.keys[slot + 1 : node.count].copy()
-            node.ptrs[slot : node.count - 1] = node.ptrs[slot + 1 : node.count].copy()
-            self.tracer.move(
-                self.layout.key_address(base, node, slot),
-                self.layout.key_address(base, node, slot + 1),
-                moved * self.keyspec.size,
+        with self._update_txn():
+            pid, page, base, __ = self._descend_to_leaf_page(key)
+            node, __ = self._inpage_descend(page, base, key)
+            slot = insertion_slot(
+                node.keys, node.count, key,
+                self.layout.key_address(base, node, 0), self.keyspec.size, self.tracer,
             )
-            self.tracer.move(
-                self.layout.ptr_address(base, node, slot),
-                self.layout.ptr_address(base, node, slot + 1),
-                moved * self.layout.ptr_size(node),
-            )
-        node.count -= 1
-        page.total -= 1
-        self.tracer.write(self.layout.node_address(base, node), 4)
-        self._entries -= 1
-        return True
+            if slot >= node.count or int(node.keys[slot]) != key:
+                return False
+            moved = node.count - slot - 1
+            if moved > 0:
+                node.keys[slot : node.count - 1] = node.keys[slot + 1 : node.count].copy()
+                node.ptrs[slot : node.count - 1] = node.ptrs[slot + 1 : node.count].copy()
+                self.tracer.move(
+                    self.layout.key_address(base, node, slot),
+                    self.layout.key_address(base, node, slot + 1),
+                    moved * self.keyspec.size,
+                )
+                self.tracer.move(
+                    self.layout.ptr_address(base, node, slot),
+                    self.layout.ptr_address(base, node, slot + 1),
+                    moved * self.layout.ptr_size(node),
+                )
+            node.count -= 1
+            page.total -= 1
+            self.tracer.write(self.layout.node_address(base, node), 4)
+            self.store.mark_dirty(pid)
+            self._entries -= 1
+            return True
 
     # -- range scan ---------------------------------------------------------------------------------
 

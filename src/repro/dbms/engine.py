@@ -26,6 +26,7 @@ fault-free run.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Optional
 
@@ -39,6 +40,7 @@ from ..storage.buffer import BufferPool
 from ..storage.config import DiskParameters, StorageConfig
 from ..storage.disk import DiskArray
 from ..storage.prefetch import AsyncPageReader, RetryPolicy
+from ..wal import RecoveryStats, WalManager, recover
 from ..workloads.generator import KeyWorkload, build_mature_tree
 from .table import DEFAULT_SCHEMA, HeapTable, RowSchema
 
@@ -69,6 +71,12 @@ class QueryStats:
     checksum_failures: int = 0
     degradation_level: int = 0
     deadline_exceeded: bool = False
+    # Write-path accounting (all zero unless write-ahead logging is on):
+    # cumulative WAL appends, durable page writes (evictions + checkpoints),
+    # and the simulated disk time they consumed, as of query time.
+    wal_appends: int = 0
+    page_writes: int = 0
+    disk_write_us: float = 0.0
 
     @property
     def elapsed_s(self) -> float:
@@ -92,6 +100,11 @@ class MiniDbms:
         self.num_disks = num_disks
         self.page_size = page_size
         self.disk_params = disk if disk is not None else DiskParameters()
+        self.schema = schema
+        self.index_kind = index_kind
+        self._num_rows_hint = num_rows
+        self.wal: Optional[WalManager] = None
+        self.last_recovery: Optional[RecoveryStats] = None
         self.env = TreeEnvironment(page_size=page_size, buffer_pages=64)
         self.store = self.env.store
         self.table = HeapTable(self.store, schema)
@@ -112,7 +125,7 @@ class MiniDbms:
         else:
             self.index.bulkload(keys, workload.tids)
 
-    def _make_index(self, kind: str, num_rows: int):
+    def _make_index(self, kind: str, num_rows: int, env: Optional[TreeEnvironment] = None):
         """The database's index: any of the disk-resident structures.
 
         ``count_star`` only needs ``leaf_page_ids`` and per-page entry
@@ -124,14 +137,15 @@ class MiniDbms:
         from ..baselines.micro_index import MicroIndexTree
         from ..core.cache_first import CacheFirstFpTree
 
+        env = env if env is not None else self.env
         if kind == "fp-disk":
-            return DiskFirstFpTree(self.env)
+            return DiskFirstFpTree(env)
         if kind == "fp-cache":
-            return CacheFirstFpTree(self.env, num_keys_hint=num_rows)
+            return CacheFirstFpTree(env, num_keys_hint=num_rows)
         if kind == "micro":
-            return MicroIndexTree(self.env)
+            return MicroIndexTree(env)
         if kind == "disk":
-            return DiskBPlusTree(self.env)
+            return DiskBPlusTree(env)
         raise ValueError(f"unknown index kind {kind!r}")
 
     def _entries_in_leaf_page(self, pid: int) -> int:
@@ -300,6 +314,9 @@ class MiniDbms:
             checksum_failures=pool.checksum_failures,
             degradation_level=max_level,
             deadline_exceeded=deadline_us is not None and env.now > deadline_us,
+            wal_appends=self.wal.log.appends if self.wal is not None else 0,
+            page_writes=self.wal.pages_flushed if self.wal is not None else 0,
+            disk_write_us=self.wal.io_env.now if self.wal is not None else 0.0,
         )
 
     # -- point access (used by examples/tests) -------------------------------------
@@ -310,3 +327,81 @@ class MiniDbms:
         if tid is None:
             return None
         return self.table.fetch(int(tid) - 1)  # tids are 1-based in workloads
+
+    # -- the update path ------------------------------------------------------------
+
+    def _txn(self):
+        return self.wal.transaction() if self.wal is not None else nullcontext()
+
+    def insert(self, key: int, k2: int = 0, k3: int = 0) -> int:
+        """Insert a row and index it, atomically when logging is enabled.
+
+        The heap append and the index insert (including any page splits it
+        triggers) commit as one transaction; a crash between them leaves
+        neither behind.  Returns the row's tuple id.
+        """
+        with self._txn():
+            row = self.table.insert_row(key, k2, k3)
+            self.index.insert(key, row + 1)  # index tids are 1-based
+        return row
+
+    def delete(self, key: int) -> bool:
+        """Delete one index entry for ``key`` (heap rows are not reclaimed)."""
+        with self._txn():
+            return self.index.delete(key)
+
+    # -- crash consistency ----------------------------------------------------------
+
+    def enable_wal(
+        self, plan: Optional[FaultPlan] = None, checkpoint_interval: int = 0
+    ) -> WalManager:
+        """Turn on write-ahead logging (and, via ``plan``, crash injection).
+
+        Returns the attached :class:`~repro.wal.WalManager`; from here on
+        :meth:`insert`/:meth:`delete` are crash-atomic and page write-back
+        is charged simulated disk time.
+        """
+        if self.wal is not None:
+            raise RuntimeError("write-ahead logging is already enabled")
+        self.wal = WalManager(
+            self.index,
+            plan=plan,
+            disk=self.disk_params,
+            checkpoint_interval=checkpoint_interval,
+        )
+        return self.wal
+
+    def checkpoint(self) -> int:
+        """Force committed-dirty pages to disk; returns pages flushed."""
+        if self.wal is None:
+            raise RuntimeError("write-ahead logging is not enabled")
+        return self.wal.checkpoint()
+
+    def crash_and_recover(self) -> RecoveryStats:
+        """Discard all volatile state and rebuild from the durable image.
+
+        Simulates a machine crash: the in-memory tree, buffer pool and heap
+        table are thrown away; a fresh substrate is recovered from the
+        WAL + durable pages (committed transactions survive, uncommitted
+        ones vanish) and verified with the structural scrubber.  Logging is
+        off afterwards — call :meth:`enable_wal` again to resume.
+        """
+        if self.wal is None:
+            raise RuntimeError("write-ahead logging is not enabled")
+        image = self.wal.crash_state()
+        self.wal.detach()
+        self.wal = None
+        heap_page_ids = self.table.page_ids()
+
+        def make_tree():
+            env = TreeEnvironment(page_size=self.page_size, buffer_pages=64)
+            return self._make_index(self.index_kind, self._num_rows_hint, env=env)
+
+        tree, stats = recover(image, make_tree)
+        self.index = tree
+        self.env = tree.env
+        self.store = tree.store
+        self.table = HeapTable(self.store, self.schema)
+        self.table.rebind(heap_page_ids)
+        self.last_recovery = stats
+        return stats

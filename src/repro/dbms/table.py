@@ -77,7 +77,24 @@ class HeapTable:
         self._tail.k3[slot] = k3
         self._tail.count += 1
         self.num_rows += 1
+        self.store.mark_dirty(self._page_ids[-1])
         return (len(self._page_ids) - 1) * self.rows_per_page + slot
+
+    def rebind(self, page_ids: list[int]) -> None:
+        """Adopt a recovered store's surviving heap pages.
+
+        ``page_ids`` is the pre-crash page list (its order defines tuple
+        ids).  The table is append-only, so recovery may only have dropped
+        a suffix — a tail page allocated by an uncommitted transaction;
+        a missing page anywhere else means the image is corrupt.
+        """
+        survivors = [pid for pid in page_ids if pid in self.store]
+        if survivors != page_ids[: len(survivors)]:
+            missing = [pid for pid in page_ids if pid not in self.store]
+            raise ValueError(f"non-suffix heap pages missing after recovery: {missing}")
+        self._page_ids = survivors
+        self._tail = self.store.page(survivors[-1]) if survivors else None
+        self.num_rows = sum(self.store.page(pid).count for pid in survivors)
 
     def tid_to_location(self, tid: int) -> tuple[int, int]:
         """(page id, slot) for a tuple id."""

@@ -12,9 +12,10 @@ from .errors import (
     DiskTimeoutError,
     PageChecksumError,
     ReadFailedError,
+    SimulatedCrash,
     StorageFault,
 )
-from .injector import FaultDecision, FaultInjector, ReadOutcome
+from .injector import CrashInjector, FaultDecision, FaultInjector, ReadOutcome, WriteOutcome
 from .plan import DiskFaultProfile, FaultPlan
 
 __all__ = [
@@ -22,10 +23,13 @@ __all__ = [
     "FaultPlan",
     "FaultDecision",
     "FaultInjector",
+    "CrashInjector",
     "ReadOutcome",
+    "WriteOutcome",
     "StorageFault",
     "DiskTimeoutError",
     "DiskFailedError",
     "PageChecksumError",
     "ReadFailedError",
+    "SimulatedCrash",
 ]

@@ -18,6 +18,7 @@ __all__ = [
     "DiskFailedError",
     "PageChecksumError",
     "ReadFailedError",
+    "SimulatedCrash",
 ]
 
 
@@ -69,6 +70,22 @@ class PageChecksumError(StorageFault):
             f"checksum mismatch on page {page_id}: "
             f"expected {expected:#010x}, got {actual:#010x}"
         )
+
+
+class SimulatedCrash(StorageFault):
+    """The machine died at an injected crash point.
+
+    Raised by the WAL / write-back layer when a :class:`FaultPlan` crash
+    point fires (after the Nth WAL append or page write, or on a torn
+    write).  Everything volatile — buffer pool contents, in-memory page
+    objects, the unforced WAL tail — is gone; only the durable image
+    captured by :meth:`WalManager.crash_state` survives for recovery.
+    """
+
+    def __init__(self, point: str, count: int) -> None:
+        self.point = point
+        self.count = count
+        super().__init__(f"simulated crash at {point} #{count}")
 
 
 class ReadFailedError(StorageFault):

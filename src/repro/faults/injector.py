@@ -16,7 +16,7 @@ from dataclasses import dataclass
 
 from .plan import DiskFaultProfile, FaultPlan
 
-__all__ = ["ReadOutcome", "FaultDecision", "FaultInjector"]
+__all__ = ["ReadOutcome", "FaultDecision", "FaultInjector", "WriteOutcome", "CrashInjector"]
 
 
 class ReadOutcome(enum.Enum):
@@ -89,3 +89,44 @@ class FaultInjector:
     def total_injected(self) -> int:
         """All faults injected so far (excluding pure latency limping)."""
         return self.injected_corruptions + self.injected_timeouts + self.injected_disk_failures
+
+
+class WriteOutcome(enum.Enum):
+    """What the crash injector decided a single durable write should do."""
+
+    OK = "ok"
+    CRASH_AFTER = "crash-after"  # the write lands, then the machine dies
+    TORN = "torn"  # half the bytes land, then the machine dies
+
+
+class CrashInjector:
+    """Counts WAL appends and page writes, firing the plan's crash points.
+
+    Unlike the per-read :class:`FaultInjector` this draws nothing random:
+    crash points are pure 1-based counters over the run's lifetime, so a
+    crash at "the 7th WAL append" lands on exactly the same logical write
+    every run — the property the crash-recovery tests rely on.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.wal_appends = 0
+        self.page_writes = 0
+
+    def on_wal_append(self) -> WriteOutcome:
+        """Decision for the WAL append about to be performed."""
+        self.wal_appends += 1
+        if self.plan.torn_wal_append == self.wal_appends:
+            return WriteOutcome.TORN
+        if self.plan.crash_after_wal_appends == self.wal_appends:
+            return WriteOutcome.CRASH_AFTER
+        return WriteOutcome.OK
+
+    def on_page_write(self) -> WriteOutcome:
+        """Decision for the data-page write about to be performed."""
+        self.page_writes += 1
+        if self.plan.torn_page_write == self.page_writes:
+            return WriteOutcome.TORN
+        if self.plan.crash_after_page_writes == self.page_writes:
+            return WriteOutcome.CRASH_AFTER
+        return WriteOutcome.OK

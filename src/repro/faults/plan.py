@@ -85,6 +85,24 @@ class FaultPlan:
     occupies its spindle (relative to the nominal service time) before the
     device gives up — lost commands are not free.
     ``failed_response_us`` is how quickly a dead disk rejects a command.
+
+    The four **crash points** drive the WAL / write-back layer
+    (:mod:`repro.wal`); counts are 1-based over the run's lifetime:
+
+    ``crash_after_wal_appends``
+        The machine dies immediately after the Nth WAL record reaches the
+        log (the record itself is durable).
+    ``torn_wal_append``
+        The Nth WAL append is torn: only the first half of the record's
+        bytes land before the crash, so recovery must detect the invalid
+        tail and truncate it.
+    ``crash_after_page_writes``
+        The machine dies immediately after the Nth data-page write (an
+        eviction flush or checkpoint force) completes.
+    ``torn_page_write``
+        The Nth data-page write is torn: the durable image holds half the
+        page's bytes under the full page's checksum, so recovery sees a
+        checksum-failing page and must restore it from the log.
     """
 
     seed: int = 0
@@ -92,6 +110,10 @@ class FaultPlan:
     disks: Mapping[int, DiskFaultProfile] = field(default_factory=dict)
     timeout_stall_multiplier: float = 8.0
     failed_response_us: float = 500.0
+    crash_after_wal_appends: Optional[int] = None
+    torn_wal_append: Optional[int] = None
+    crash_after_page_writes: Optional[int] = None
+    torn_page_write: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.timeout_stall_multiplier < 1.0:
@@ -103,6 +125,15 @@ class FaultPlan:
         for disk_id in self.disks:
             if disk_id < 0:
                 raise ValueError(f"disk ids must be >= 0, got {disk_id}")
+        for name in (
+            "crash_after_wal_appends",
+            "torn_wal_append",
+            "crash_after_page_writes",
+            "torn_page_write",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 (counts are 1-based), got {value}")
 
     def profile(self, disk_id: int) -> DiskFaultProfile:
         """Fault profile in effect for ``disk_id``."""
@@ -146,3 +177,21 @@ class FaultPlan:
     def disk_failure(cls, disk_id: int, at_us: float, seed: int = 0) -> "FaultPlan":
         """One disk fails permanently at ``at_us``."""
         return cls(seed=seed, disks={disk_id: DiskFaultProfile(fail_at_us=at_us)})
+
+    @classmethod
+    def crash_point(
+        cls,
+        wal_appends: Optional[int] = None,
+        page_writes: Optional[int] = None,
+        torn_wal: Optional[int] = None,
+        torn_page: Optional[int] = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """A deterministic crash/torn-write scenario (no read faults)."""
+        return cls(
+            seed=seed,
+            crash_after_wal_appends=wal_appends,
+            torn_wal_append=torn_wal,
+            crash_after_page_writes=page_writes,
+            torn_page_write=torn_page,
+        )

@@ -37,7 +37,15 @@ from .core.cache_first import CacheFirstFpTree, CfNode, CfPage
 from .core.disk_first import DiskFirstFpTree
 from .core.optimizer import CacheFirstWidths, DiskFirstWidths
 
-__all__ = ["save_tree", "load_tree", "dump_tree_bytes", "load_tree_bytes", "ImageFormatError"]
+__all__ = [
+    "save_tree",
+    "load_tree",
+    "dump_tree_bytes",
+    "load_tree_bytes",
+    "encode_page",
+    "decode_page",
+    "ImageFormatError",
+]
 
 MAGIC = b"FPBT"
 VERSION = 1
@@ -169,6 +177,64 @@ def _write_cf_page(out: BinaryIO, page: CfPage, kind_codes: dict) -> None:
             for child in node.children:
                 _write(out, "<IH", child.pid, child.slot)
             _write(out, "<IH", *_ref_of(node.next_parent))
+
+
+# -- single-page codec (the WAL's page-image payload format) ---------------------------
+
+PAGE_KIND_DISK = 0  # DiskPage (disk-optimized B+-Tree / micro-indexing)
+PAGE_KIND_FP = 1  # FpPage (disk-first fpB+-Tree)
+PAGE_KIND_HEAP = 2  # HeapPage (mini-DBMS heap table)
+
+
+def encode_page(tree: Index, page) -> bytes:
+    """Serialize one page to self-describing bytes (WAL page images).
+
+    ``tree`` supplies the layout context; the page kind is dispatched on
+    the page object's type, so a store mixing index and heap pages (the
+    mini DBMS) round-trips every page through the same codec.
+    """
+    from .dbms.table import HeapPage  # local: avoids a package-init cycle
+
+    out = io.BytesIO()
+    if isinstance(page, FpPage):
+        _write(out, "<B", PAGE_KIND_FP)
+        _write_fp_page(out, page)
+    elif isinstance(page, DiskPage):
+        _write(out, "<B", PAGE_KIND_DISK)
+        _write_disk_page(out, page)
+    elif isinstance(page, HeapPage):
+        _write(out, "<B", PAGE_KIND_HEAP)
+        _write(out, "<II", page.count, page.capacity)
+        for column in (page.k1, page.k2, page.k3):
+            _write_array(out, column, page.count)
+    else:
+        raise TypeError(f"cannot encode page type {type(page).__name__}")
+    return out.getvalue()
+
+
+def decode_page(tree: Index, data: bytes):
+    """Reconstruct a page object from :func:`encode_page` bytes."""
+    from .dbms.table import HeapPage  # local: avoids a package-init cycle
+
+    src = io.BytesIO(data)
+    (kind,) = _read(src, "<B")
+    if kind == PAGE_KIND_FP:
+        if not isinstance(tree, DiskFirstFpTree):
+            raise ImageFormatError("fp page image for a non-fp tree")
+        return _read_fp_page(src, tree)
+    if kind == PAGE_KIND_DISK:
+        if not isinstance(tree, DiskBPlusTree):
+            raise ImageFormatError("disk page image for a non-disk tree")
+        return _read_disk_page(src, tree)
+    if kind == PAGE_KIND_HEAP:
+        count, capacity = _read(src, "<II")
+        page = HeapPage(capacity)
+        page.count = count
+        page.k1 = _read_array(src, np.uint32, count, capacity)
+        page.k2 = _read_array(src, np.uint32, count, capacity)
+        page.k3 = _read_array(src, np.uint32, count, capacity)
+        return page
+    raise ImageFormatError(f"unknown page kind {kind}")
 
 
 # -- tree-level save ------------------------------------------------------------------

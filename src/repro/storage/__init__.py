@@ -3,7 +3,7 @@ plus the resilience layer (checksums, retries, hedged reads)."""
 
 from .buffer import BufferPool, BufferPoolExhausted
 from .config import DiskParameters, StorageConfig
-from .disk import Disk, DiskArray, ReadReceipt
+from .disk import Disk, DiskArray, ReadReceipt, WriteReceipt
 from .pager import PageStore, page_checksum
 from .prefetch import AsyncPageReader, RetryPolicy
 
@@ -15,6 +15,7 @@ __all__ = [
     "Disk",
     "DiskArray",
     "ReadReceipt",
+    "WriteReceipt",
     "PageStore",
     "page_checksum",
     "AsyncPageReader",

@@ -16,7 +16,7 @@ operations when the pool is very small.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from ..faults.errors import PageChecksumError
 from ..mem.hierarchy import MemorySystem
@@ -74,6 +74,18 @@ class BufferPool:
         self._hand = 0
         self.hits = 0
         self.misses = 0
+        #: Pages whose in-memory content is newer than the durable image.
+        #: Evicting one calls ``flush_hook`` first (flush-on-evict); with no
+        #: hook the dirt is simply dropped, preserving the pre-WAL fiction
+        #: that memory and disk are the same object.
+        self._dirty: set[int] = set()
+        #: Pages pinned by the no-steal policy: dirtied by an uncommitted
+        #: transaction, so they must never be flushed (and therefore never
+        #: evicted) until the transaction commits.
+        self._no_steal: set[int] = set()
+        #: Called with a page id before its frame is reused while dirty.
+        self.flush_hook: Optional[Callable[[int], None]] = None
+        self.evict_flushes = 0
         if mem is not None:
             space = address_space if address_space is not None else AddressSpace()
             self._base_address = space.alloc(
@@ -160,6 +172,13 @@ class BufferPool:
         frame = self._find_victim()
         old = self._frame_page[frame]
         if old >= 0:
+            if old in self._dirty:
+                # Flush-on-evict: the durable image must absorb the page's
+                # dirt before the frame is reused.
+                if self.flush_hook is not None:
+                    self.evict_flushes += 1
+                    self.flush_hook(old)
+                self._dirty.discard(old)
             del self._page_frame[old]
         self._frame_page[frame] = page_id
         self._ref_bit[frame] = 1
@@ -175,6 +194,8 @@ class BufferPool:
             self._hand = (self._hand + 1) % frames
             if self._pin_count[frame] > 0:
                 continue
+            if self._frame_page[frame] in self._no_steal:
+                continue
             if self._ref_bit[frame]:
                 self._ref_bit[frame] = 0
                 continue
@@ -182,7 +203,7 @@ class BufferPool:
         pinned = {
             self._frame_page[frame]: self._pin_count[frame]
             for frame in range(frames)
-            if self._pin_count[frame] > 0
+            if self._pin_count[frame] > 0 or self._frame_page[frame] in self._no_steal
         }
         raise BufferPoolExhausted(frames, pinned)
 
@@ -197,16 +218,56 @@ class BufferPool:
         try:
             yield page
         finally:
-            self._pin_count[frame] -= 1
+            # The page may have been invalidated (pin count reset) and the
+            # frame handed to another page mid-block; only unpin if this
+            # pin still holds the frame.
+            if self._page_frame.get(page_id) == frame and self._pin_count[frame] > 0:
+                self._pin_count[frame] -= 1
+
+    # -- dirty tracking ----------------------------------------------------------
+
+    def mark_dirty(self, page_id: int, no_steal: bool = False) -> None:
+        """Flag a resident page as newer than its durable image.
+
+        ``no_steal=True`` additionally exempts the page from eviction until
+        :meth:`release_no_steal` — the WAL's no-steal policy for pages
+        dirtied by a transaction that has not committed yet.
+        """
+        self._dirty.add(page_id)
+        if no_steal:
+            self._no_steal.add(page_id)
+
+    def is_dirty(self, page_id: int) -> bool:
+        return page_id in self._dirty
+
+    def mark_clean(self, page_id: int) -> None:
+        """Drop a page's dirty flag (its image was just forced to disk)."""
+        self._dirty.discard(page_id)
+
+    def release_no_steal(self, page_id: int) -> None:
+        """Make a no-steal page evictable again (its transaction committed)."""
+        self._no_steal.discard(page_id)
+
+    @property
+    def dirty_pages(self) -> set[int]:
+        return set(self._dirty)
 
     # -- maintenance -------------------------------------------------------------
 
     def invalidate(self, page_id: int) -> None:
-        """Drop a page from the pool (e.g. after it was freed)."""
+        """Drop a page from the pool (e.g. after it was freed).
+
+        Any pins on the page die with it: the pin count must be reset, or
+        the frame would be stuck holding a stale nonzero count and be
+        excluded from eviction forever.
+        """
         frame = self._page_frame.pop(page_id, None)
         if frame is not None:
             self._frame_page[frame] = -1
             self._ref_bit[frame] = 0
+            self._pin_count[frame] = 0
+        self._dirty.discard(page_id)
+        self._no_steal.discard(page_id)
 
     def clear(self) -> None:
         """Empty the pool — the 'cleared before every experiment' state."""
@@ -215,9 +276,12 @@ class BufferPool:
             self._ref_bit[frame] = 0
             self._pin_count[frame] = 0
         self._page_frame.clear()
+        self._dirty.clear()
+        self._no_steal.clear()
         self._hand = 0
 
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
         self.checksum_failures = 0
+        self.evict_flushes = 0

@@ -30,7 +30,7 @@ from ..faults.errors import DiskFailedError, DiskTimeoutError
 from ..faults.injector import FaultInjector, ReadOutcome
 from .config import StorageConfig
 
-__all__ = ["Disk", "DiskArray", "ReadReceipt"]
+__all__ = ["Disk", "DiskArray", "ReadReceipt", "WriteReceipt"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +47,15 @@ class ReadReceipt:
     corrupt: bool = False
 
 
+@dataclass(frozen=True)
+class WriteReceipt:
+    """What a completed disk write hands back to the writer."""
+
+    page_id: int
+    disk_id: int
+    service_us: float
+
+
 class Disk:
     """A single spindle: FIFO service, head-position tracking."""
 
@@ -57,8 +66,26 @@ class Disk:
         self.resource = Resource(env, capacity=1)
         self.head_block = -1
         self.reads = 0
+        self.writes = 0
         self.busy_time_us = 0.0
         self.faults = 0
+
+    def service_write(self, block: int, nbytes: int, page_id: int = -1):
+        """Process generator: seize the disk, seek + transfer, release.
+
+        Writes use the same positioning/transfer model as reads.  The
+        read-fault injector never perturbs them: torn and lost writes are
+        modelled above the spindle, at the WAL / write-back layer, where
+        the crash points of a :class:`~repro.faults.FaultPlan` live.
+        """
+        with self.resource.request() as grant:
+            yield grant
+            duration = self.array.config.disk.service_time_us(self.head_block, block, nbytes)
+            self.head_block = block
+            self.writes += 1
+            self.busy_time_us += duration
+            yield self.env.timeout(duration)
+            return WriteReceipt(page_id, self.disk_id, duration)
 
     def service(self, block: int, nbytes: int, page_id: int = -1):
         """Process generator: seize the disk, seek + transfer, release.
@@ -132,6 +159,7 @@ class DiskArray:
         self.mirrored = mirrored
         self.disks = [Disk(env, self, i) for i in range(config.num_disks)]
         self.total_reads = 0
+        self.total_writes = 0
 
     @property
     def replicas_per_page(self) -> int:
@@ -157,6 +185,30 @@ class DiskArray:
         disk = self.disks[disks[replica % len(disks)]]
         block = self.config.block_of(page_id)
         return self.env.process(disk.service(block, self.config.page_size, page_id))
+
+    def write_page(self, page_id: int) -> Event:
+        """Start an asynchronous page write; the event fires on completion.
+
+        Writes always go to the primary replica — the durability model is
+        single-copy (mirror resilvering is out of scope for the simulator).
+        """
+        if page_id < 0:
+            raise ValueError(f"invalid page id {page_id}")
+        self.total_writes += 1
+        disk = self.disks[self.config.disk_of(page_id)]
+        block = self.config.block_of(page_id)
+        return self.env.process(disk.service_write(block, self.config.page_size, page_id))
+
+    def write_at(self, disk_id: int, block: int, nbytes: int) -> Event:
+        """Start a raw write of ``nbytes`` at an explicit block position.
+
+        Used by the write-ahead log, whose appends advance sequentially
+        through its dedicated spindle rather than striding by page id.
+        """
+        if not 0 <= disk_id < len(self.disks):
+            raise ValueError(f"invalid disk id {disk_id}")
+        self.total_writes += 1
+        return self.env.process(self.disks[disk_id].service_write(block, nbytes))
 
     def utilization(self) -> list[float]:
         """Fraction of elapsed time each disk spent servicing requests."""

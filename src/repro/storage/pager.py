@@ -21,7 +21,7 @@ errors the resilience layer must catch at the buffer-pool boundary.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 __all__ = ["PageStore", "page_checksum"]
 
@@ -44,8 +44,14 @@ class PageStore:
         self._tokens: dict[int, int] = {}
         self._checksums: dict[int, int] = {}
         self._write_counter = 0
+        self._corruptions = 0
         self.allocations = 0
         self.frees = 0
+        #: Optional hook ``(event, page_id) -> None`` with event one of
+        #: ``"alloc"`` / ``"dirty"`` / ``"free"``; the WAL layer's
+        #: transaction context registers here to track an update's write
+        #: set.  ``None`` (the default) keeps the store observer-free.
+        self.write_observer: Optional[Callable[[str, int], None]] = None
 
     # -- checksums -----------------------------------------------------------
 
@@ -73,10 +79,33 @@ class PageStore:
         return self.checksum(page_id) == self._checksums[page_id]
 
     def corrupt_page(self, page_id: int) -> None:
-        """Flip bits in a page's media (fault injection / chaos tests)."""
+        """Flip bits in a page's media (fault injection / chaos tests).
+
+        The flip mask is derived from a monotonically increasing counter:
+        a constant mask would make corruption self-inverse (two injected
+        faults on the same page XOR back to the original token and the
+        checksum passes again), silently un-detecting repeated faults.
+        """
         if page_id not in self._pages:
             raise KeyError(f"page {page_id} is not allocated")
-        self._tokens[page_id] ^= 0x5A5A5A5A
+        self._corruptions += 1
+        # 0x9E3779B1 is odd, so distinct counter values give distinct masks
+        # modulo 2**32 and no two corruptions can cancel each other out.
+        mask = (0x5A5A5A5A ^ (self._corruptions * 0x9E3779B1)) & 0xFFFFFFFF
+        self._tokens[page_id] ^= mask or 1
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record an in-place mutation of a page's content.
+
+        Restamps the page (the media now holds the new bits) and notifies
+        the write observer, if any — this is how an update's write set
+        reaches the WAL transaction context.
+        """
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} is not allocated")
+        self._stamp(page_id)
+        if self.write_observer is not None:
+            self.write_observer("dirty", page_id)
 
     def scrub(self, page_id: int) -> None:
         """Rewrite a page's media from its (intact) page object, restamping."""
@@ -96,6 +125,8 @@ class PageStore:
         self._pages[page_id] = page
         self._stamp(page_id)
         self.allocations += 1
+        if self.write_observer is not None:
+            self.write_observer("alloc", page_id)
         return page_id
 
     def free(self, page_id: int) -> None:
@@ -107,6 +138,8 @@ class PageStore:
         del self._checksums[page_id]
         self._free_ids.append(page_id)
         self.frees += 1
+        if self.write_observer is not None:
+            self.write_observer("free", page_id)
 
     def place(self, page_id: int, page: Any) -> None:
         """Install a page under a specific id (used when loading an image)."""

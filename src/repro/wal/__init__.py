@@ -1,0 +1,35 @@
+"""Crash consistency: write-ahead logging, write-back, and recovery.
+
+The subsystem threads through the storage stack in three pieces:
+
+* :class:`WriteAheadLog` — the append-only record log on its own
+  DES-charged spindle (:mod:`repro.wal.log`, :mod:`repro.wal.records`);
+* :class:`WalManager` — attaches to one tree, wraps updates in
+  :class:`TransactionContext` transactions, enforces no-steal eviction and
+  flush-on-evict write-back, and takes checkpoints
+  (:mod:`repro.wal.manager`);
+* :func:`recover` — rebuilds a consistent tree from a :class:`CrashImage`
+  by redo-from-checkpoint replay, then verifies it with
+  :mod:`repro.scrub` (:mod:`repro.wal.recovery`).
+"""
+
+from .log import WriteAheadLog
+from .manager import CrashImage, TransactionContext, WalManager, WalStats
+from .records import LogRecord, RecordType, TreeMeta, encode_record, scan_records
+from .recovery import RecoveryError, RecoveryStats, recover
+
+__all__ = [
+    "WriteAheadLog",
+    "CrashImage",
+    "TransactionContext",
+    "WalManager",
+    "WalStats",
+    "LogRecord",
+    "RecordType",
+    "TreeMeta",
+    "encode_record",
+    "scan_records",
+    "RecoveryError",
+    "RecoveryStats",
+    "recover",
+]

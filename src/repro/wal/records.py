@@ -1,0 +1,125 @@
+"""Typed, LSN-stamped write-ahead-log records and their binary framing.
+
+Each record is framed as ``crc32(body) | body`` where the body packs the
+LSN, record type, transaction id, page id and payload length ahead of the
+payload bytes.  The CRC makes the tail self-validating: a torn append (a
+crash mid-write leaving half a record) fails its CRC, so recovery can find
+the longest valid prefix of the log without any external length metadata —
+exactly how real engines detect a torn log tail.
+
+Record types:
+
+* ``BEGIN`` — a transaction started (informational; recovery keys off
+  ``COMMIT`` only, so BEGIN-less logs also replay correctly);
+* ``ALLOC`` / ``FREE`` — a page id entered / left the allocated set;
+* ``PAGE_IMAGE`` — full after-image of one page (physical redo);
+* ``COMMIT`` — the transaction is durable; payload carries the tree
+  metadata (root, height, leaf head, entry count) as of the commit;
+* ``CHECKPOINT`` — every committed page is on disk; redo may start here.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+from dataclasses import dataclass
+
+__all__ = [
+    "RecordType",
+    "LogRecord",
+    "TreeMeta",
+    "encode_record",
+    "scan_records",
+    "NO_PAGE",
+]
+
+#: Page-id placeholder for records not about a specific page.
+NO_PAGE = -1
+
+_HEADER = struct.Struct("<QBqqI")  # lsn, type, txn_id, page_id, payload length
+_CRC = struct.Struct("<I")
+_META = struct.Struct("<iiiq")  # root_pid, height, first_leaf_pid, entries
+
+
+class RecordType(enum.IntEnum):
+    """What one log record describes."""
+
+    BEGIN = 1
+    PAGE_IMAGE = 2
+    ALLOC = 3
+    FREE = 4
+    COMMIT = 5
+    CHECKPOINT = 6
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable log entry."""
+
+    lsn: int
+    type: RecordType
+    txn_id: int
+    page_id: int = NO_PAGE
+    payload: bytes = b""
+
+
+@dataclass(frozen=True)
+class TreeMeta:
+    """Tree-level metadata carried by COMMIT and CHECKPOINT records."""
+
+    root_pid: int
+    height: int
+    first_leaf_pid: int
+    entries: int
+
+    def pack(self) -> bytes:
+        return _META.pack(self.root_pid, self.height, self.first_leaf_pid, self.entries)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TreeMeta":
+        return cls(*_META.unpack(data[: _META.size]))
+
+
+def encode_record(record: LogRecord) -> bytes:
+    """Frame a record as ``crc | header | payload``."""
+    body = _HEADER.pack(
+        record.lsn, int(record.type), record.txn_id, record.page_id, len(record.payload)
+    )
+    body += record.payload
+    return _CRC.pack(zlib.crc32(body)) + body
+
+
+def scan_records(data: bytes) -> tuple[list[LogRecord], int]:
+    """Parse the longest valid record prefix of a log byte stream.
+
+    Returns ``(records, valid_bytes)``: parsing stops at the first record
+    that is truncated, fails its CRC, or carries an out-of-sequence LSN —
+    the torn tail a crash mid-append leaves behind.  Bytes past
+    ``valid_bytes`` are garbage and must be discarded by recovery.
+    """
+    records: list[LogRecord] = []
+    offset = 0
+    expected_lsn = None
+    while offset + _CRC.size + _HEADER.size <= len(data):
+        (crc,) = _CRC.unpack_from(data, offset)
+        body_start = offset + _CRC.size
+        lsn, rtype, txn_id, page_id, payload_len = _HEADER.unpack_from(data, body_start)
+        body_end = body_start + _HEADER.size + payload_len
+        if body_end > len(data):
+            break  # truncated payload
+        body = data[body_start:body_end]
+        if zlib.crc32(body) != crc:
+            break  # torn or corrupted record
+        if expected_lsn is not None and lsn != expected_lsn:
+            break  # framing desynchronized
+        try:
+            record_type = RecordType(rtype)
+        except ValueError:
+            break
+        records.append(
+            LogRecord(lsn, record_type, txn_id, page_id, bytes(data[body_start + _HEADER.size : body_end]))
+        )
+        expected_lsn = lsn + 1
+        offset = body_end
+    return records, offset

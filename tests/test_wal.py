@@ -1,0 +1,393 @@
+"""Tests for the write-ahead-log layer below recovery.
+
+Covers: record framing and torn-tail scanning, the log device, the crash
+injector's deterministic counters, buffer-pool dirty tracking (flush-on-
+evict, no-steal), the WalManager transaction/observer/checkpoint protocol,
+and the satellite regressions (invalidate pin leak, corrupt_page being
+self-inverse).
+"""
+
+import zlib
+
+import pytest
+
+from repro import DiskFirstFpTree, TreeEnvironment, WalManager
+from repro.des import Environment
+from repro.faults import CrashInjector, FaultPlan, SimulatedCrash, WriteOutcome
+from repro.storage import BufferPool, BufferPoolExhausted, PageStore, StorageConfig
+from repro.wal import LogRecord, RecordType, TreeMeta, WriteAheadLog, encode_record, scan_records
+from repro.wal.records import NO_PAGE
+
+
+def small_tree(page_size=1024, buffer_pages=32, n=1000):
+    tree = DiskFirstFpTree(TreeEnvironment(page_size=page_size, buffer_pages=buffer_pages))
+    keys = list(range(0, 2 * n, 2))
+    tree.bulkload(keys, [k + 1 for k in keys])
+    return tree
+
+
+# -- record framing ----------------------------------------------------------
+
+
+class TestRecordFraming:
+    def test_round_trip(self):
+        records = [
+            LogRecord(1, RecordType.BEGIN, 7),
+            LogRecord(2, RecordType.ALLOC, 7, 12),
+            LogRecord(3, RecordType.PAGE_IMAGE, 7, 12, b"\x01" * 300),
+            LogRecord(4, RecordType.FREE, 7, 3),
+            LogRecord(5, RecordType.COMMIT, 7, NO_PAGE, TreeMeta(0, 2, 1, 99).pack()),
+            LogRecord(6, RecordType.CHECKPOINT, 0, NO_PAGE, TreeMeta(0, 2, 1, 99).pack()),
+        ]
+        data = b"".join(encode_record(r) for r in records)
+        parsed, valid = scan_records(data)
+        assert parsed == records
+        assert valid == len(data)
+
+    def test_tree_meta_round_trip(self):
+        meta = TreeMeta(root_pid=5, height=3, first_leaf_pid=-1, entries=1 << 40)
+        assert TreeMeta.unpack(meta.pack()) == meta
+
+    def test_torn_tail_is_truncated(self):
+        records = [LogRecord(i + 1, RecordType.PAGE_IMAGE, 1, i, b"x" * 64) for i in range(4)]
+        data = b"".join(encode_record(r) for r in records)
+        keep = len(encode_record(records[0])) * 2
+        torn = data[: keep + 10]  # third record loses most of its bytes
+        parsed, valid = scan_records(torn)
+        assert [r.lsn for r in parsed] == [1, 2]
+        assert valid == keep
+
+    def test_bit_flip_truncates_from_damage(self):
+        records = [LogRecord(i + 1, RecordType.BEGIN, i + 1) for i in range(3)]
+        data = bytearray(b"".join(encode_record(r) for r in records))
+        one = len(encode_record(records[0]))
+        data[one + 8] ^= 0xFF  # corrupt the second record's body
+        parsed, valid = scan_records(bytes(data))
+        assert [r.lsn for r in parsed] == [1]
+        assert valid == one
+
+    def test_lsn_desync_stops_scan(self):
+        data = encode_record(LogRecord(1, RecordType.BEGIN, 1)) + encode_record(
+            LogRecord(9, RecordType.BEGIN, 1)
+        )
+        parsed, valid = scan_records(data)
+        assert [r.lsn for r in parsed] == [1]
+        assert valid < len(data)
+
+    def test_empty_and_tiny_streams(self):
+        assert scan_records(b"") == ([], 0)
+        assert scan_records(b"\x01\x02\x03") == ([], 0)
+
+    def test_unknown_type_stops_scan(self):
+        good = encode_record(LogRecord(1, RecordType.BEGIN, 1))
+        import struct
+
+        body = struct.pack("<QBqqI", 2, 200, 1, -1, 0)  # type 200 undefined
+        bad = struct.pack("<I", zlib.crc32(body)) + body
+        parsed, valid = scan_records(good + bad)
+        assert [r.lsn for r in parsed] == [1]
+        assert valid == len(good)
+
+
+# -- the log device ----------------------------------------------------------
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_lsns_and_charges_time(self):
+        log = WriteAheadLog(Environment(), page_size=1024)
+        for i in range(5):
+            record = log.append(RecordType.BEGIN, i + 1)
+            assert record.lsn == i + 1
+        assert log.appends == 5
+        assert log.bytes_written == len(log.data)
+        assert log.write_us > 0
+        assert [r.lsn for r in log.records()] == [1, 2, 3, 4, 5]
+
+    def test_sequential_appends_cheaper_than_first(self):
+        # The first append pays a real seek; later same-block appends only
+        # reposition track-to-track, which is the point of a dedicated
+        # log spindle.
+        log = WriteAheadLog(Environment(), page_size=64 * 1024)
+        t0 = log.env.now
+        log.append(RecordType.BEGIN, 1)
+        first = log.env.now - t0
+        t1 = log.env.now
+        log.append(RecordType.BEGIN, 2)
+        second = log.env.now - t1
+        assert second < first
+
+    def test_torn_append_leaves_half_record(self):
+        plan = FaultPlan.crash_point(torn_wal=3)
+        log = WriteAheadLog(Environment(), page_size=1024, crash=CrashInjector(plan))
+        log.append(RecordType.BEGIN, 1)
+        log.append(RecordType.BEGIN, 2)
+        with pytest.raises(SimulatedCrash):
+            log.append(RecordType.BEGIN, 3)
+        parsed, valid = scan_records(log.data)
+        assert [r.lsn for r in parsed] == [1, 2]
+        assert valid < len(log.data)  # the torn half is on media but invalid
+        assert log.torn_appends == 1
+        assert log.appends == 2  # the torn append never completed
+
+
+# -- crash injector ----------------------------------------------------------
+
+
+class TestCrashInjector:
+    def test_counters_are_deterministic(self):
+        plan = FaultPlan.crash_point(wal_appends=3, page_writes=2)
+        for __ in range(2):
+            injector = CrashInjector(plan)
+            outcomes = [injector.on_wal_append() for __ in range(4)]
+            assert outcomes == [
+                WriteOutcome.OK,
+                WriteOutcome.OK,
+                WriteOutcome.CRASH_AFTER,
+                WriteOutcome.OK,
+            ]
+            writes = [injector.on_page_write() for __ in range(3)]
+            assert writes == [WriteOutcome.OK, WriteOutcome.CRASH_AFTER, WriteOutcome.OK]
+
+    def test_torn_takes_priority_on_same_count(self):
+        plan = FaultPlan.crash_point(wal_appends=1, torn_wal=1)
+        assert CrashInjector(plan).on_wal_append() is WriteOutcome.TORN
+
+    def test_counts_are_one_based(self):
+        with pytest.raises(ValueError):
+            FaultPlan.crash_point(wal_appends=0)
+        with pytest.raises(ValueError):
+            FaultPlan.crash_point(torn_page=-1)
+
+
+# -- buffer pool: dirty tracking, flush-on-evict, no-steal -------------------
+
+
+def tiny_pool(frames, store=None):
+    store = store if store is not None else PageStore(page_size=512)
+    config = StorageConfig(page_size=512, num_disks=1, buffer_pool_pages=frames)
+    return store, BufferPool(config, store)
+
+
+class TestDirtyTracking:
+    def test_mark_and_clean(self):
+        store, pool = tiny_pool(4)
+        pid = store.allocate(object())
+        assert not pool.is_dirty(pid)
+        pool.mark_dirty(pid)
+        assert pool.is_dirty(pid)
+        assert pool.dirty_pages == {pid}
+        pool.mark_clean(pid)
+        assert not pool.is_dirty(pid)
+
+    def test_flush_on_evict_calls_hook(self):
+        store, pool = tiny_pool(2)
+        pids = [store.allocate(object()) for __ in range(3)]
+        flushed = []
+        pool.flush_hook = flushed.append
+        pool.access(pids[0])
+        pool.mark_dirty(pids[0])
+        pool.access(pids[1])
+        pool.access(pids[2])  # evicts pids[0], which is dirty
+        assert flushed == [pids[0]]
+        assert pool.evict_flushes == 1
+        assert not pool.is_dirty(pids[0])
+
+    def test_eviction_without_hook_drops_dirt(self):
+        store, pool = tiny_pool(1)
+        pids = [store.allocate(object()) for __ in range(2)]
+        pool.access(pids[0])
+        pool.mark_dirty(pids[0])
+        pool.access(pids[1])
+        assert not pool.is_dirty(pids[0])
+        assert pool.evict_flushes == 0
+
+    def test_no_steal_page_is_not_evictable(self):
+        store, pool = tiny_pool(1)
+        pids = [store.allocate(object()) for __ in range(2)]
+        pool.access(pids[0])
+        pool.mark_dirty(pids[0], no_steal=True)
+        with pytest.raises(BufferPoolExhausted):
+            pool.access(pids[1])
+        pool.release_no_steal(pids[0])
+        pool.access(pids[1])  # now evictable
+        assert pool.contains(pids[1])
+
+
+# -- satellite regressions ---------------------------------------------------
+
+
+class TestInvalidatePinLeak:
+    def test_invalidate_resets_pin_count(self):
+        # Regression: invalidate used to leave the frame's pin count
+        # behind, so the (freed) frame stayed unevictable forever and a
+        # 1-frame pool was permanently exhausted.
+        store, pool = tiny_pool(1)
+        pids = [store.allocate(object()) for __ in range(2)]
+        with pool.pinned(pids[0]):
+            pool.invalidate(pids[0])
+        pool.access(pids[1])  # must not raise BufferPoolExhausted
+        assert pool.contains(pids[1])
+
+    def test_invalidate_drops_dirty_and_no_steal(self):
+        store, pool = tiny_pool(2)
+        pid = store.allocate(object())
+        pool.access(pid)
+        pool.mark_dirty(pid, no_steal=True)
+        pool.invalidate(pid)
+        assert not pool.is_dirty(pid)
+        other = store.allocate(object())
+        pool.access(other)  # frame reusable, no flush attempted
+
+
+class TestCorruptPageMask:
+    def test_double_corruption_still_detected(self):
+        # Regression: a constant XOR mask made corrupt_page self-inverse —
+        # two faults on the same page restored the original token and the
+        # checksum passed again.
+        store = PageStore(page_size=512)
+        pid = store.allocate(object())
+        store.corrupt_page(pid)
+        assert not store.verify_checksum(pid)
+        store.corrupt_page(pid)
+        assert not store.verify_checksum(pid)
+
+    def test_many_corruptions_never_cancel(self):
+        store = PageStore(page_size=512)
+        pid = store.allocate(object())
+        for __ in range(16):
+            store.corrupt_page(pid)
+            assert not store.verify_checksum(pid)
+
+    def test_scrub_heals(self):
+        store = PageStore(page_size=512)
+        pid = store.allocate(object())
+        store.corrupt_page(pid)
+        store.scrub(pid)
+        assert store.verify_checksum(pid)
+
+
+# -- WalManager protocol -----------------------------------------------------
+
+
+class TestWalManager:
+    def test_attach_snapshots_and_checkpoints(self):
+        tree = small_tree()
+        pages_before = set(tree.store.page_ids())
+        wal = WalManager(tree)
+        assert set(wal.durable_pages) == pages_before
+        records = wal.log.records()
+        assert [r.type for r in records] == [RecordType.CHECKPOINT]
+        # The attach snapshot is not charged: the only disk time so far is
+        # the checkpoint record's own log append.
+        assert wal.log.write_us > 0
+        assert wal.io_env.now == wal.log.write_us
+
+    def test_transaction_logs_images_and_commit(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        tree.insert(1, 2)
+        records = wal.log.records()
+        types = [r.type for r in records[1:]]  # skip the attach checkpoint
+        assert types[0] is RecordType.BEGIN
+        assert types[-1] is RecordType.COMMIT
+        assert RecordType.PAGE_IMAGE in types
+        meta = TreeMeta.unpack(records[-1].payload)
+        assert meta.entries == tree.num_entries
+        assert meta.root_pid == tree.root_pid
+
+    def test_read_only_transaction_logs_nothing(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        before = wal.log.appends
+        with wal.transaction():
+            tree.search(0)
+        assert wal.log.appends == before
+        assert wal.commits == 0
+
+    def test_nested_transactions_join(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        with wal.transaction():
+            tree.insert(1, 2)
+            tree.insert(3, 4)
+        assert wal.commits == 1
+        commits = [r for r in wal.log.records() if r.type is RecordType.COMMIT]
+        assert len(commits) == 1
+
+    def test_writes_outside_transaction_are_unlogged(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        before = wal.log.appends
+        tree.store.scrub(tree.root_pid)
+        tree.store.mark_dirty(tree.root_pid)
+        assert wal.log.appends == before
+
+    def test_commit_releases_no_steal(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        with wal.transaction() as txn:
+            tree.insert(1, 2)
+            assert txn.written
+            for pid in txn.written:
+                assert pid in tree.pool._no_steal
+        for pid in txn.written:
+            assert pid not in tree.pool._no_steal
+
+    def test_checkpoint_flushes_dirty_pages(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        tree.insert(1, 2)
+        dirty = set(tree.pool.dirty_pages)
+        assert dirty
+        flushed = wal.checkpoint()
+        assert flushed >= len(dirty)
+        assert not tree.pool.dirty_pages
+        assert wal.io_env.now > 0  # page forces are charged disk time
+        assert wal.log.records()[-1].type is RecordType.CHECKPOINT
+
+    def test_checkpoint_interval_auto_fires(self):
+        tree = small_tree()
+        wal = WalManager(tree, checkpoint_interval=5)
+        for k in range(1, 25, 2):
+            tree.insert(k, k + 1)
+        assert wal.checkpoints == 12 // 5
+        assert wal.commits == 12
+
+    def test_checkpoint_inside_open_transaction_raises(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        with wal.transaction():
+            tree.insert(1, 2)
+            with pytest.raises(RuntimeError):
+                wal.checkpoint()
+
+    def test_negative_checkpoint_interval_rejected(self):
+        tree = small_tree()
+        with pytest.raises(ValueError):
+            WalManager(tree, checkpoint_interval=-1)
+
+    def test_stats_and_crash_state(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        tree.insert(1, 2)
+        wal.checkpoint()
+        stats = wal.stats()
+        assert stats.commits == 1
+        assert stats.wal_appends == wal.log.appends
+        assert stats.checkpoints == 1
+        assert stats.write_us == wal.io_env.now
+        image = wal.crash_state()
+        assert image.wal_data == wal.log.data
+        assert set(image.pages) == set(wal.durable_pages)
+        assert image.page_size == tree.env.page_size
+
+    def test_detach_unhooks(self):
+        tree = small_tree()
+        wal = WalManager(tree)
+        wal.detach()
+        assert tree.store.write_observer is None
+        assert tree.pool.flush_hook is None
+        assert tree.env.wal is None
+        before = wal.log.appends
+        tree.insert(1, 2)  # no longer logged
+        assert wal.log.appends == before
