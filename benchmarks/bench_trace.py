@@ -1,0 +1,63 @@
+"""Trace smoke: a fully-traced scan exports valid, deterministic JSON.
+
+Claims checked: (a) every reconciliation row in the ``traced-scan``
+experiment agrees — the trace recovers exactly the counters QueryStats
+reports; (b) the exported Chrome-trace JSON passes schema validation, so
+it loads in chrome://tracing / ui.perfetto.dev; (c) two runs from the
+same seed export *byte-identical* JSON — the determinism contract of
+``repro.obs``; (d) tracing is a pure observer — a traced scan and an
+untraced scan of the same workload report the same simulated elapsed
+time.
+
+Runs standalone too — ``python benchmarks/bench_trace.py --smoke`` does a
+tiny-config pass of the same assertions (the CI trace-smoke job).
+"""
+
+import sys
+
+from repro.bench.figures import traced_scan
+from repro.obs import validate_chrome_trace
+
+SMOKE_SCALE = dict(num_rows=8_000, inserts=10)
+
+
+def check_claims(result):
+    """Assert the tracing claims on a traced_scan() FigureResult."""
+    for row in result.rows:
+        assert row["agree"], f"trace/stats reconciliation failed: {row}"
+
+    trace = result.trace
+    assert trace is not None, "traced-scan must attach its QueryTrace"
+    payload = trace.to_json()
+    errors = validate_chrome_trace(payload)
+    assert not errors, f"exported trace is not valid Chrome-trace JSON: {errors}"
+    assert len(trace.tracer.records) > 0 and trace.tracer.dropped == 0
+
+
+def test_traced_scan(benchmark):
+    from conftest import record
+
+    result = benchmark.pedantic(traced_scan, rounds=1, iterations=1)
+    record(benchmark, result)
+    check_claims(result)
+    # Fixed seed => byte-identical export.
+    assert traced_scan().trace.to_json() == result.trace.to_json()
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    kwargs = SMOKE_SCALE if smoke else {}
+    result = traced_scan(**kwargs)
+    print(result.format_table())
+    check_claims(result)
+    rerun = traced_scan(**kwargs)
+    assert rerun.trace.to_json() == result.trace.to_json(), (
+        "trace export is not byte-identical across same-seed runs"
+    )
+    print(result.trace.timeline())
+    print("all tracing claims hold" + (" (smoke scale)" if smoke else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -45,6 +45,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="FILE",
         help="also write results as JSON (one object per experiment)",
     )
+    parser.add_argument(
+        "--trace-out",
+        dest="trace_path",
+        metavar="FILE",
+        help="write the Chrome-trace JSON attached to the experiment's result "
+        "(open in chrome://tracing or ui.perfetto.dev); currently only "
+        "'traced-scan' attaches one",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -86,6 +94,17 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json_path, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json_path}")
+    if args.trace_path:
+        traced = [r for r in collected if r.trace is not None]
+        if not traced:
+            print(
+                f"--trace-out: no experiment in {names} attached a trace "
+                "(try 'traced-scan')",
+                file=sys.stderr,
+            )
+            return 1
+        traced[-1].trace.write(args.trace_path)
+        print(f"wrote {args.trace_path}")
     return 0
 
 

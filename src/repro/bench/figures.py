@@ -57,6 +57,7 @@ __all__ = [
     "ablation_uniform_node_size",
     "ablation_jpa_on_standard_btree",
     "ablation_prefetch_depth",
+    "traced_scan",
     "ALL_EXPERIMENTS",
 ]
 
@@ -947,6 +948,85 @@ def ablation_prefetch_depth(
     return result
 
 
+def traced_scan(
+    num_rows: int = 20_000,
+    num_disks: int = 4,
+    page_size: int = 4096,
+    inserts: int = 20,
+    prefetchers: int = 4,
+    smp_degree: int = 2,
+    corrupt_rate: float = 0.02,
+    timeout_rate: float = 0.01,
+    seed: int = 3,
+) -> FigureResult:
+    """One fully-traced mirrored scan under light faults, stats vs trace.
+
+    Runs ``MiniDbms.scan(trace=True)`` with the WAL enabled and a mild
+    fault plan, then reconciles every ``QueryStats`` counter against the
+    counts recovered from the trace itself.  The rows are the
+    reconciliation table (each must agree exactly); the exported
+    Chrome-trace JSON rides along on ``result.trace`` so that
+    ``python -m repro.bench traced-scan --trace-out scan.json`` produces a
+    file loadable in ui.perfetto.dev.
+    """
+    result = FigureResult(
+        "traced-scan",
+        "query trace vs QueryStats reconciliation (must agree exactly)",
+        ["quantity", "from_stats", "from_trace", "agree"],
+    )
+    db = MiniDbms(
+        num_rows=num_rows,
+        num_disks=num_disks,
+        page_size=page_size,
+        disk=DiskParameters(sequential_window_blocks=0),
+        mature=False,
+    )
+    db.enable_wal()
+    for key in range(10_000_000, 10_000_000 + inserts):
+        db.insert(key)
+    plan = FaultPlan.uniform(
+        corrupt_rate=corrupt_rate, timeout_rate=timeout_rate, seed=seed
+    )
+    stats = db.scan(
+        smp_degree=smp_degree,
+        prefetchers=prefetchers,
+        fault_plan=plan,
+        mirrored=True,
+        trace=True,
+    )
+    trace = stats.trace
+    for quantity, from_stats in (
+        ("disk_reads", stats.disk_reads),
+        ("prefetches", stats.prefetches),
+        ("hedges", stats.hedges),
+        ("retries", stats.retries),
+        ("wal_appends", stats.wal_appends),
+    ):
+        from_trace = trace.counter_value(quantity.replace("disk_", ""))
+        result.add(
+            quantity=quantity,
+            from_stats=from_stats,
+            from_trace=from_trace,
+            agree=from_stats == from_trace,
+        )
+    # Completion spans can lag issued reads: a hedge loser or stalled
+    # command still in flight when the scan finishes never completes, so
+    # the invariant is <=, not ==.
+    read_spans = trace.count("read", ph="X")
+    result.add(
+        quantity="read_spans (<=)",
+        from_stats=stats.disk_reads,
+        from_trace=read_spans,
+        agree=read_spans <= stats.disk_reads,
+    )
+    result.trace = trace
+    result.notes.append(
+        f"{len(trace.tracer.records)} trace records over "
+        f"{stats.elapsed_us:.0f} simulated us ({stats.row_count} rows)"
+    )
+    return result
+
+
 from .multipage import ablation_multipage_nodes  # noqa: E402  (avoids a cycle)
 
 ALL_EXPERIMENTS = {
@@ -970,4 +1050,5 @@ ALL_EXPERIMENTS = {
     "ablation-prefetch-depth": ablation_prefetch_depth,
     "ablation-jpa-on-btree": ablation_jpa_on_standard_btree,
     "ablation-multipage-nodes": ablation_multipage_nodes,
+    "traced-scan": traced_scan,
 }

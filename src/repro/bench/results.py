@@ -17,6 +17,8 @@ class FigureResult:
     columns: Sequence[str]
     rows: list[dict[str, Any]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Optional attached :class:`repro.obs.QueryTrace` (``--trace-out`` writes it).
+    trace: Any = field(default=None, repr=False)
 
     def add(self, **values: Any) -> None:
         self.rows.append(values)

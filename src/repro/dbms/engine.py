@@ -36,6 +36,7 @@ from ..btree.context import TreeEnvironment
 from ..core.disk_first import DiskFirstFpTree
 from ..des import Environment, Store
 from ..faults import FaultInjector, FaultPlan, StorageFault
+from ..obs import MetricsRegistry, Observability, QueryTrace, Tracer
 from ..storage.buffer import BufferPool
 from ..storage.config import DiskParameters, StorageConfig
 from ..storage.disk import DiskArray
@@ -77,10 +78,25 @@ class QueryStats:
     wal_appends: int = 0
     page_writes: int = 0
     disk_write_us: float = 0.0
+    #: Attached observability bundle (``scan(trace=True)``); excluded from
+    #: equality so traced and untraced stats of the same run still compare.
+    trace: Optional[QueryTrace] = dataclasses.field(default=None, compare=False, repr=False)
 
     @property
     def elapsed_s(self) -> float:
         return self.elapsed_us / 1e6
+
+    def explain(self) -> str:
+        """Text timeline of the query (needs ``scan(trace=True)``)."""
+        header = (
+            f"scan: {self.row_count} rows over {self.pages_scanned} pages in "
+            f"{self.elapsed_us:.0f} us — {self.disk_reads} disk reads, "
+            f"{self.prefetches} prefetches, {self.retries} retries, "
+            f"{self.hedges} hedges, degradation level {self.degradation_level}"
+        )
+        if self.trace is None:
+            return header + "\n  (run scan(trace=True) for a full timeline)"
+        return header + "\n" + self.trace.timeline()
 
 
 class MiniDbms:
@@ -195,6 +211,7 @@ class MiniDbms:
         mirrored: bool = False,
         deadline_us: Optional[float] = None,
         hedge: bool = True,
+        trace: bool | Tracer = False,
     ) -> QueryStats:
         """Index-only leaf scan with fault injection and graceful degradation.
 
@@ -205,6 +222,16 @@ class MiniDbms:
         retry-on-mirror and (with ``hedge``) hedged reads.  ``deadline_us``
         arms the degradation ladder: past 60% of the deadline hedging is
         shed, past 85% prefetching too, leaving plain demand paging.
+
+        ``trace=True`` (or a :class:`~repro.obs.Tracer` of your own)
+        records the query's full event timeline — disk service spans,
+        pool hit/miss/evict, prefetch/hedge/retry decisions, ladder
+        transitions, per-scanner page spans — and attaches it to the
+        returned stats as ``stats.trace`` (a
+        :class:`~repro.obs.QueryTrace`; ``stats.explain()`` renders it,
+        ``stats.trace.write(path)`` exports Perfetto-loadable JSON).
+        Tracing observes the DES clock and never advances it: a traced run
+        returns bit-identical times to an untraced one.
         """
         if smp_degree < 1:
             raise ValueError("smp_degree must be >= 1")
@@ -212,6 +239,10 @@ class MiniDbms:
             raise ValueError("prefetchers must be >= 0")
         if deadline_us is not None and deadline_us <= 0:
             raise ValueError(f"deadline_us must be positive, got {deadline_us}")
+        tracer: Optional[Tracer] = None
+        if trace:
+            tracer = trace if isinstance(trace, Tracer) else Tracer()
+        obs = Observability(tracer=tracer, metrics=MetricsRegistry())
         leaf_pids = self.index.leaf_page_ids()
         frames = pool_frames if pool_frames is not None else len(leaf_pids) + 64
         config = StorageConfig(
@@ -229,10 +260,12 @@ class MiniDbms:
             nominal = self.disk_params.service_time_us(-1, 0, self.page_size)
             policy = dataclasses.replace(policy, hedge_after_us=1.5 * nominal)
         env = Environment()
-        disks = DiskArray(env, config, injector=injector, mirrored=mirrored)
-        pool = BufferPool(config, self.store)
+        if tracer is not None and tracer.clock is None:
+            tracer.clock = lambda: env.now
+        disks = DiskArray(env, config, injector=injector, mirrored=mirrored, obs=obs)
+        pool = BufferPool(config, self.store, obs=obs)
         seed = fault_plan.seed if fault_plan is not None else 0
-        reader = AsyncPageReader(env, disks, pool, policy=policy, seed=seed)
+        reader = AsyncPageReader(env, disks, pool, policy=policy, seed=seed, obs=obs)
         reader.hedge_enabled = hedge
         if in_memory:
             reader.preload(leaf_pids)
@@ -266,6 +299,11 @@ class MiniDbms:
             if level <= max_level:
                 return
             max_level = level
+            if tracer is not None:
+                tracer.instant(
+                    "degrade", track="query", cat="query",
+                    level=level, deadline_us=deadline_us,
+                )
             if level >= 1:
                 reader.hedge_enabled = False
             if level >= 2:
@@ -281,8 +319,9 @@ class MiniDbms:
                     except StorageFault:
                         pass  # the demand path will recover (or report)
 
-        def scanner(segment):
+        def scanner(worker_id, segment):
             nonlocal row_count
+            track = f"scan{worker_id}"
             issued = 0
             for index, pid in enumerate(segment):
                 degrade()
@@ -290,15 +329,33 @@ class MiniDbms:
                     while issued < min(index + window, len(segment)):
                         request_queue.put(segment[issued])
                         issued += 1
+                start = env.now
                 yield from reader.demand(pid)
-                row_count += self._entries_in_leaf_page(pid)
+                rows = int(self._entries_in_leaf_page(pid))
+                row_count += rows
                 yield env.timeout(page_process_us)
+                if tracer is not None:
+                    tracer.complete("page", track, start, cat="scan", page=pid, rows=rows)
 
         if prefetchers and not in_memory:
             for __ in range(prefetchers):
                 env.process(prefetcher())
-        scanners = [env.process(scanner(segment)) for segment in segments]
+        scanners = [
+            env.process(scanner(worker_id, segment))
+            for worker_id, segment in enumerate(segments)
+        ]
         env.run(until=env.all_of(scanners))
+        if tracer is not None:
+            # Final reconciliation samples: the trace's own totals must
+            # agree with the QueryStats the caller gets back.
+            tracer.counter("reads", disks.total_reads, track="query")
+            tracer.counter("prefetches", reader.prefetches, track="query")
+            tracer.counter("hedges", reader.hedges, track="query")
+            tracer.counter("retries", reader.retries, track="query")
+            tracer.counter(
+                "wal_appends", self.wal.log.appends if self.wal is not None else 0,
+                track="query",
+            )
         return QueryStats(
             elapsed_us=env.now,
             pages_scanned=len(leaf_pids),
@@ -317,6 +374,7 @@ class MiniDbms:
             wal_appends=self.wal.log.appends if self.wal is not None else 0,
             page_writes=self.wal.pages_flushed if self.wal is not None else 0,
             disk_write_us=self.wal.io_env.now if self.wal is not None else 0.0,
+            trace=QueryTrace(tracer, obs.metrics, label="scan") if tracer is not None else None,
         )
 
     # -- point access (used by examples/tests) -------------------------------------
@@ -353,13 +411,19 @@ class MiniDbms:
     # -- crash consistency ----------------------------------------------------------
 
     def enable_wal(
-        self, plan: Optional[FaultPlan] = None, checkpoint_interval: int = 0
+        self,
+        plan: Optional[FaultPlan] = None,
+        checkpoint_interval: int = 0,
+        obs: Optional[Observability] = None,
     ) -> WalManager:
         """Turn on write-ahead logging (and, via ``plan``, crash injection).
 
         Returns the attached :class:`~repro.wal.WalManager`; from here on
         :meth:`insert`/:meth:`delete` are crash-atomic and page write-back
-        is charged simulated disk time.
+        is charged simulated disk time.  ``obs`` (optional) threads an
+        observability bundle through the write path: WAL appends, commits,
+        checkpoints and page flushes are then traced on the WAL's own I/O
+        clock.
         """
         if self.wal is not None:
             raise RuntimeError("write-ahead logging is already enabled")
@@ -368,6 +432,7 @@ class MiniDbms:
             plan=plan,
             disk=self.disk_params,
             checkpoint_interval=checkpoint_interval,
+            obs=obs,
         )
         return self.wal
 

@@ -255,6 +255,12 @@ class Environment:
         self._queue: list[tuple[float, int, Event]] = []
         self._next_id = 0
         self._active_process: Optional[Process] = None
+        #: Optional lifecycle hook, called as ``observer(kind, event)`` with
+        #: ``kind`` in {"process", "step"}.  Purely observational — the
+        #: kernel never lets the hook schedule or advance anything.  Used by
+        #: :func:`repro.obs.attach_des_observer`; None (the default) costs
+        #: one attribute check per step.
+        self.observer: Optional[Callable[[str, Event], None]] = None
 
     @property
     def now(self) -> float:
@@ -278,7 +284,10 @@ class Environment:
 
     def process(self, generator: ProcessGenerator) -> Process:
         """Start a new process from a generator."""
-        return Process(self, generator)
+        proc = Process(self, generator)
+        if self.observer is not None:
+            self.observer("process", proc)
+        return proc
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that triggers when all ``events`` have triggered."""
@@ -298,6 +307,8 @@ class Environment:
         """Process the single next event in the queue."""
         when, __, event = heapq.heappop(self._queue)
         self._now = when
+        if self.observer is not None:
+            self.observer("step", event)
         callbacks = event.callbacks
         event.callbacks = None
         if callbacks:

@@ -119,6 +119,9 @@ class MemorySystem:
                 continue
             self._reserve_miss_handler()
             if self.l2.contains(line):
+                # An L2-resident store allocation is an L2 hit just like the
+                # demand path in _touch; it only differs in not stalling.
+                self.stats.l2_hits += 1
                 self._inflight[line] = self.now + self.config.l2_hit_latency
                 continue
             start = max(self.now, self._bus_free)

@@ -1,0 +1,230 @@
+"""Named counters, gauges and histograms for the simulators.
+
+A :class:`MetricsRegistry` is a flat namespace of metrics addressed by
+dotted name (``disk0.read_latency_us``, ``reader.retries``).  Everything is
+zero-dependency, deterministic, and purely observational: recording a value
+never touches any simulation clock.
+
+Components keep their historical counter attributes (``reader.retries``,
+``pool.misses``, ``disk.busy_time_us``) through :class:`MetricAttr`, a
+descriptor that stores the value in a registry :class:`Counter` while
+leaving every existing call site — including ``+= 1`` increments and
+``reset_stats()`` zeroing — untouched.  That is the "compatible facade":
+the attribute *is* the metric.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricAttr",
+    "bind_counters",
+]
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds, in the storage layer's
+#: microseconds: 64 us .. ~4.2 s in powers of four, plus +inf.
+DEFAULT_BUCKETS_US: tuple[float, ...] = tuple(64.0 * 4**i for i in range(13))
+
+
+class Counter:
+    """A monotonically-written scalar (ints or float totals)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, delta: Number = 1) -> None:
+        self.value += delta
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """A scalar that goes up and down (queue depths, residency)."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.max_value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def inc(self, delta: Number = 1) -> None:
+        self.set(self.value + delta)
+
+    def snapshot(self) -> dict[str, Number]:
+        return {"value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket distribution with sum/count/min/max.
+
+    ``bounds`` are inclusive upper edges; values above the last bound land
+    in an implicit overflow bucket.  Bounds are fixed at construction, so
+    two runs that record the same values produce identical snapshots.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.bounds: tuple[float, ...] = tuple(bounds if bounds is not None else DEFAULT_BUCKETS_US)
+        if list(self.bounds) != sorted(self.bounds) or len(set(self.bounds)) != len(self.bounds):
+            raise ValueError(f"histogram bounds must be strictly increasing, got {self.bounds}")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def record(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the bucket holding it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= rank and n:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{bound:g}": n for bound, n in zip(self.bounds, self.counts)},
+                "overflow": self.counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """A flat, typed namespace of named metrics.
+
+    Metrics are created on first use and memoized; asking for an existing
+    name with a different type is an error (it would silently fork the
+    series).  Snapshots iterate names in sorted order, so exporting a
+    registry is deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, *args) -> object:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, *args)
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)  # type: ignore[return-value]
+
+    def histogram(self, name: str, bounds: Optional[Sequence[float]] = None) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, bounds)
+            self._metrics[name] = metric
+        elif type(metric) is not Histogram:
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a Histogram")
+        return metric  # type: ignore[return-value]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def value(self, name: str) -> Number:
+        """Scalar value of a counter or gauge (0 if never created)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return 0
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        raise TypeError(f"metric {name!r} has no scalar value")
+
+    def snapshot(self) -> dict[str, object]:
+        """Deterministic dict of every metric, sorted by name."""
+        return {name: self._metrics[name].snapshot() for name in self.names()}
+
+
+class MetricAttr:
+    """Descriptor exposing a registry counter as a plain instance attribute.
+
+    The owning class calls :func:`bind_counters` in ``__init__`` to map
+    attribute names to registry counters; after that, ``obj.retries += 1``
+    and ``obj.retries = 0`` read and write the counter's value directly, so
+    pre-observability code and tests keep working unchanged.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        return obj._metric_counters[self.name].value
+
+    def __set__(self, obj, value) -> None:
+        obj._metric_counters[self.name].value = value
+
+
+def bind_counters(obj, registry: MetricsRegistry, prefix: str, names: Iterable[str]) -> None:
+    """Wire an object's :class:`MetricAttr` descriptors to ``registry``."""
+    obj._metric_counters = {name: registry.counter(prefix + name) for name in names}

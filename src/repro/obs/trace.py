@@ -1,0 +1,177 @@
+"""Typed span/event tracing on the DES clock.
+
+A :class:`Tracer` records what happened *at* simulated times without ever
+advancing them: every record carries a timestamp read from a clock callable
+(usually ``lambda: env.now``), and recording is plain list bookkeeping — no
+DES events, no timeouts, no RNG draws.  That is the no-drift contract: a
+traced run and an untraced run of the same seeded workload produce
+bit-identical simulated times.
+
+Records live in a bounded ring buffer (oldest events drop first under
+pressure; ``dropped`` says how many), and each names a *track* — a logical
+timeline such as ``disk3``, ``reader``, ``scan0`` or ``wal``.  Tracks map
+to Chrome-trace thread ids in first-use order, which is deterministic for a
+deterministic simulation, so the exported JSON is byte-identical across
+runs with the same seed and fault plan.
+
+The module-level :data:`NULL_TRACER` is the off-by-default mode: a disabled
+tracer whose methods return immediately, cheap enough to leave threaded
+through every hot path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+__all__ = ["TraceRecord", "Tracer", "NULL_TRACER"]
+
+#: Chrome-trace phases used by the exporter.
+PH_COMPLETE = "X"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+
+
+class TraceRecord:
+    """One trace record: a complete span, an instant, or a counter sample."""
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "track", "args")
+
+    def __init__(
+        self,
+        name: str,
+        cat: str,
+        ph: str,
+        ts: float,
+        dur: float,
+        track: str,
+        args: Optional[dict],
+    ) -> None:
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.track = track
+        self.args = args
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f"+{self.dur:g}" if self.ph == PH_COMPLETE else ""
+        return f"<TraceRecord {self.ph} {self.track}:{self.name} @{self.ts:g}{span}>"
+
+
+class Tracer:
+    """Bounded, deterministic recorder of spans and instants.
+
+    ``clock`` supplies timestamps (the DES ``env.now``); it may be attached
+    after construction (``tracer.clock = ...``) by whichever component owns
+    the relevant clock.  ``capacity`` bounds the ring buffer.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        capacity: int = 65536,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.clock = clock
+        self.capacity = capacity
+        self.enabled = True
+        self.records: deque[TraceRecord] = deque(maxlen=capacity)
+        self.emitted = 0
+        self._tracks: dict[str, int] = {}
+
+    # -- clock ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current timestamp (0.0 when no clock is attached)."""
+        return self.clock() if self.clock is not None else 0.0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Records lost to ring-buffer pressure."""
+        return self.emitted - len(self.records)
+
+    @property
+    def tracks(self) -> dict[str, int]:
+        """Track name -> thread id, in first-use order."""
+        return dict(self._tracks)
+
+    def _track_id(self, track: str) -> int:
+        tid = self._tracks.get(track)
+        if tid is None:
+            tid = len(self._tracks)
+            self._tracks[track] = tid
+        return tid
+
+    def _push(
+        self, name: str, cat: str, ph: str, ts: float, dur: float, track: str, args: Optional[dict]
+    ) -> None:
+        self._track_id(track)
+        self.records.append(TraceRecord(name, cat, ph, ts, dur, track, args))
+        self.emitted += 1
+
+    # -- recording API -------------------------------------------------------
+
+    def instant(self, name: str, track: str = "main", cat: str = "event", **args) -> None:
+        """Record a zero-duration event at the current clock reading."""
+        if not self.enabled:
+            return
+        self._push(name, cat, PH_INSTANT, self.now(), 0.0, track, args or None)
+
+    def complete(
+        self, name: str, track: str, start: float, cat: str = "span", **args
+    ) -> None:
+        """Record a span that began at ``start`` and ends now."""
+        if not self.enabled:
+            return
+        end = self.now()
+        self._push(name, cat, PH_COMPLETE, start, max(end - start, 0.0), track, args or None)
+
+    @contextmanager
+    def span(self, name: str, track: str = "main", cat: str = "span", **args) -> Iterator[None]:
+        """Context manager recording the enclosed block as a complete span.
+
+        Works inside DES process generators: the block may suspend at
+        ``yield`` points, and the end timestamp is read when it exits.  An
+        exception escaping the block is recorded in the span's ``error``
+        arg and re-raised.
+        """
+        if not self.enabled:
+            yield
+            return
+        start = self.now()
+        try:
+            yield
+        except BaseException as exc:
+            failed = dict(args)
+            failed["error"] = type(exc).__name__
+            self.complete(name, track, start, cat=cat, **failed)
+            raise
+        self.complete(name, track, start, cat=cat, **args)
+
+    def counter(self, name: str, value, track: str = "counters", cat: str = "counter") -> None:
+        """Record a counter sample (rendered as a counter track)."""
+        if not self.enabled:
+            return
+        self._push(name, cat, PH_COUNTER, self.now(), 0.0, track, {"value": value})
+
+    def clear(self) -> None:
+        """Drop all records and track assignments (keeps the clock)."""
+        self.records.clear()
+        self.emitted = 0
+        self._tracks.clear()
+
+
+def _make_null_tracer() -> Tracer:
+    tracer = Tracer(capacity=1)
+    tracer.enabled = False
+    return tracer
+
+
+#: Shared disabled tracer: the off-by-default mode for every component.
+NULL_TRACER = _make_null_tracer()

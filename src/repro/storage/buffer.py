@@ -21,6 +21,7 @@ from typing import Any, Callable, Iterator, Optional
 from ..faults.errors import PageChecksumError
 from ..mem.hierarchy import MemorySystem
 from ..mem.layout import AddressSpace
+from ..obs import MetricAttr, Observability, bind_counters
 from .config import StorageConfig
 from .pager import PageStore
 
@@ -49,7 +50,17 @@ class BufferPoolExhausted(RuntimeError):
 
 
 class BufferPool:
-    """CLOCK-replacement buffer pool over a :class:`PageStore`."""
+    """CLOCK-replacement buffer pool over a :class:`PageStore`.
+
+    Hit/miss/eviction counters live in the metrics registry behind the
+    attribute facade (``pool.hits`` etc.), and the pool emits instant trace
+    events for misses, evictions and flush-on-evict when tracing is on.
+    """
+
+    hits = MetricAttr("hits")
+    misses = MetricAttr("misses")
+    checksum_failures = MetricAttr("checksum_failures")
+    evict_flushes = MetricAttr("evict_flushes")
 
     def __init__(
         self,
@@ -57,23 +68,32 @@ class BufferPool:
         store: PageStore,
         mem: Optional[MemorySystem] = None,
         address_space: Optional[AddressSpace] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config
         self.store = store
         self.mem = mem
+        self.obs = obs if obs is not None else Observability()
+        self._tracer = self.obs.tracer
+        bind_counters(
+            self, self.obs.metrics, "pool.",
+            ("hits", "misses", "checksum_failures", "evict_flushes"),
+        )
+        self._residency = self.obs.metrics.gauge("pool.resident_pages")
         #: Verify page checksums on every fill (miss install).  On by
         #: default: the check is cheap and catches media rot at the exact
         #: boundary where a bad page would become visible to readers.
         self.verify_checksums = True
-        self.checksum_failures = 0
         frames = config.buffer_pool_pages
         self._frame_page: list[int] = [-1] * frames
         self._ref_bit = bytearray(frames)
         self._pin_count: list[int] = [0] * frames
+        #: Per-frame occupancy generation, bumped whenever a frame changes
+        #: (or loses) its page.  Lets :meth:`pinned` tell "the same page is
+        #: back in the same frame" apart from "my pin is still the holder".
+        self._frame_gen: list[int] = [0] * frames
         self._page_frame: dict[int, int] = {}
         self._hand = 0
-        self.hits = 0
-        self.misses = 0
         #: Pages whose in-memory content is newer than the durable image.
         #: Evicting one calls ``flush_hook`` first (flush-on-evict); with no
         #: hook the dirt is simply dropped, preserving the pre-WAL fiction
@@ -143,6 +163,19 @@ class BufferPool:
             frame = self._install(page_id)
         return self.frame_address(frame)
 
+    def install(self, page_id: int) -> int:
+        """Make a page resident without touching hit/miss statistics.
+
+        The preload path for "in memory" baseline curves: residency is a
+        precondition of those experiments, not a measured event, so
+        installing must not pollute the Figure 17-style hit rate.
+        Returns the page's frame.
+        """
+        frame = self._page_frame.get(page_id)
+        if frame is None:
+            frame = self._install(page_id)
+        return frame
+
     def fill(self, page_id: int, delivered_checksum: Optional[int] = None) -> tuple[Any, int]:
         """Install a page arriving from disk, verifying its checksum.
 
@@ -177,12 +210,20 @@ class BufferPool:
                 # dirt before the frame is reused.
                 if self.flush_hook is not None:
                     self.evict_flushes += 1
+                    if self._tracer.enabled:
+                        self._tracer.instant("flush", track="pool", cat="pool", page=old)
                     self.flush_hook(old)
                 self._dirty.discard(old)
             del self._page_frame[old]
+            if self._tracer.enabled:
+                self._tracer.instant("evict", track="pool", cat="pool", page=old)
         self._frame_page[frame] = page_id
         self._ref_bit[frame] = 1
+        self._frame_gen[frame] += 1
         self._page_frame[page_id] = frame
+        self._residency.set(len(self._page_frame))
+        if self._tracer.enabled:
+            self._tracer.instant("install", track="pool", cat="pool", page=page_id, frame=frame)
         return frame
 
     def _find_victim(self) -> int:
@@ -214,14 +255,23 @@ class BufferPool:
         """Keep a page resident for the duration of a block."""
         page, __ = self.access(page_id)
         frame = self._page_frame[page_id]
+        generation = self._frame_gen[frame]
         self._pin_count[frame] += 1
         try:
             yield page
         finally:
             # The page may have been invalidated (pin count reset) and the
-            # frame handed to another page mid-block; only unpin if this
-            # pin still holds the frame.
-            if self._page_frame.get(page_id) == frame and self._pin_count[frame] > 0:
+            # frame handed to another occupant mid-block; only unpin if this
+            # pin's occupancy still holds the frame.  Matching on the page
+            # id alone is not enough: the same page can be re-installed into
+            # the same frame after an invalidate, and decrementing then
+            # would steal a newer holder's pin — the generation stamp tells
+            # the two occupancies apart.
+            if (
+                self._page_frame.get(page_id) == frame
+                and self._frame_gen[frame] == generation
+                and self._pin_count[frame] > 0
+            ):
                 self._pin_count[frame] -= 1
 
     # -- dirty tracking ----------------------------------------------------------
@@ -266,6 +316,8 @@ class BufferPool:
             self._frame_page[frame] = -1
             self._ref_bit[frame] = 0
             self._pin_count[frame] = 0
+            self._frame_gen[frame] += 1
+            self._residency.set(len(self._page_frame))
         self._dirty.discard(page_id)
         self._no_steal.discard(page_id)
 
@@ -275,7 +327,9 @@ class BufferPool:
             self._frame_page[frame] = -1
             self._ref_bit[frame] = 0
             self._pin_count[frame] = 0
+            self._frame_gen[frame] += 1
         self._page_frame.clear()
+        self._residency.set(0)
         self._dirty.clear()
         self._no_steal.clear()
         self._hand = 0

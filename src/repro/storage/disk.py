@@ -28,6 +28,7 @@ from typing import Optional
 from ..des import Environment, Event, Resource
 from ..faults.errors import DiskFailedError, DiskTimeoutError
 from ..faults.injector import FaultInjector, ReadOutcome
+from ..obs import MetricAttr, Observability, bind_counters
 from .config import StorageConfig
 
 __all__ = ["Disk", "DiskArray", "ReadReceipt", "WriteReceipt"]
@@ -57,7 +58,18 @@ class WriteReceipt:
 
 
 class Disk:
-    """A single spindle: FIFO service, head-position tracking."""
+    """A single spindle: FIFO service, head-position tracking.
+
+    Counters live in the array's metrics registry (prefixed with this
+    disk's track name, e.g. ``disk3.reads``) behind the attribute facade;
+    completed reads feed a per-disk service-latency histogram, and every
+    arrival samples the per-disk queue depth.
+    """
+
+    reads = MetricAttr("reads")
+    writes = MetricAttr("writes")
+    busy_time_us = MetricAttr("busy_time_us")
+    faults = MetricAttr("faults")
 
     def __init__(self, env: Environment, array: "DiskArray", disk_id: int) -> None:
         self.env = env
@@ -65,10 +77,25 @@ class Disk:
         self.disk_id = disk_id
         self.resource = Resource(env, capacity=1)
         self.head_block = -1
-        self.reads = 0
-        self.writes = 0
-        self.busy_time_us = 0.0
-        self.faults = 0
+        self.track = f"{array.name}{disk_id}"
+        obs = array.obs
+        self._tracer = obs.tracer
+        bind_counters(self, obs.metrics, self.track + ".", ("reads", "writes", "busy_time_us", "faults"))
+        self._latency = obs.metrics.histogram(self.track + ".read_latency_us")
+        self._queue_depth = obs.metrics.gauge(self.track + ".queue_depth")
+
+    def _arrive(self) -> None:
+        """Sample queue depth (waiters + in service) at request arrival."""
+        depth = self.resource.queue_length + self.resource.count + 1
+        self._queue_depth.set(depth)
+        if self._tracer.enabled:
+            self._tracer.counter(self.track + ".queue_depth", depth, track=self.track)
+
+    def _span(self, name: str, start: float, page_id: int, outcome: str, us: float) -> None:
+        if self._tracer.enabled:
+            self._tracer.complete(
+                name, self.track, start, cat="disk", page=page_id, outcome=outcome, us=us
+            )
 
     def service_write(self, block: int, nbytes: int, page_id: int = -1):
         """Process generator: seize the disk, seek + transfer, release.
@@ -78,23 +105,32 @@ class Disk:
         modelled above the spindle, at the WAL / write-back layer, where
         the crash points of a :class:`~repro.faults.FaultPlan` live.
         """
+        self._arrive()
         with self.resource.request() as grant:
             yield grant
+            start = self.env.now
             duration = self.array.config.disk.service_time_us(self.head_block, block, nbytes)
             self.head_block = block
             self.writes += 1
             self.busy_time_us += duration
             yield self.env.timeout(duration)
+            self._span("write", start, page_id, "ok", duration)
             return WriteReceipt(page_id, self.disk_id, duration)
 
     def service(self, block: int, nbytes: int, page_id: int = -1):
         """Process generator: seize the disk, seek + transfer, release.
 
         Returns a :class:`ReadReceipt`, or raises a typed fault if the
-        injector (when present) decides this read fails.
+        injector (when present) decides this read fails.  Every path that
+        occupies the spindle — including a dead disk rejecting the command
+        and a stalled command being declared lost — charges
+        ``busy_time_us``, so utilization reflects real occupancy under any
+        fault plan.
         """
+        self._arrive()
         with self.resource.request() as grant:
             yield grant
+            start = self.env.now
             injector = self.array.injector
             duration = self.array.config.disk.service_time_us(self.head_block, block, nbytes)
             if injector is None:
@@ -102,14 +138,20 @@ class Disk:
                 self.reads += 1
                 self.busy_time_us += duration
                 yield self.env.timeout(duration)
+                self._latency.record(duration)
+                self._span("read", start, page_id, "ok", duration)
                 return ReadReceipt(page_id, self.disk_id, duration)
 
             decision = injector.decide(self.disk_id, self.env.now)
             if decision.outcome is ReadOutcome.DISK_FAILED:
                 # A dead disk rejects the command quickly; the head is gone.
+                # The rejection still occupies the spindle: charge it, or
+                # utilization undercounts dead-disk occupancy.
                 response = injector.plan.failed_response_us
                 self.faults += 1
+                self.busy_time_us += response
                 yield self.env.timeout(response)
+                self._span("read", start, page_id, "disk-failed", response)
                 raise DiskFailedError(
                     self.disk_id, page_id, injector.profile(self.disk_id).fail_at_us or 0.0
                 )
@@ -123,11 +165,16 @@ class Disk:
                 self.faults += 1
                 self.busy_time_us += stall
                 yield self.env.timeout(stall)
+                self._span("read", start, page_id, "timeout", stall)
                 raise DiskTimeoutError(self.disk_id, page_id, stall)
             self.busy_time_us += duration
             yield self.env.timeout(duration)
+            self._latency.record(duration)
             if decision.outcome is ReadOutcome.CORRUPT:
                 self.faults += 1
+                self._span("read", start, page_id, "corrupt", duration)
+            else:
+                self._span("read", start, page_id, "ok", duration)
             return ReadReceipt(
                 page_id,
                 self.disk_id,
@@ -144,12 +191,17 @@ class DiskArray:
     replica via ``read_page(page_id, replica=...)``.
     """
 
+    total_reads = MetricAttr("total_reads")
+    total_writes = MetricAttr("total_writes")
+
     def __init__(
         self,
         env: Environment,
         config: StorageConfig,
         injector: Optional[FaultInjector] = None,
         mirrored: bool = False,
+        obs: Optional[Observability] = None,
+        name: str = "disk",
     ) -> None:
         if mirrored and config.num_disks < 2:
             raise ValueError("mirrored striping needs at least two disks")
@@ -157,9 +209,11 @@ class DiskArray:
         self.config = config
         self.injector = injector
         self.mirrored = mirrored
+        #: Track-name prefix: spindle ``i`` reports as ``f"{name}{i}"``.
+        self.name = name
+        self.obs = obs if obs is not None else Observability()
+        bind_counters(self, self.obs.metrics, f"{name}-array.", ("total_reads", "total_writes"))
         self.disks = [Disk(env, self, i) for i in range(config.num_disks)]
-        self.total_reads = 0
-        self.total_writes = 0
 
     @property
     def replicas_per_page(self) -> int:

@@ -38,6 +38,7 @@ from ..faults.errors import (
     ReadFailedError,
     StorageFault,
 )
+from ..obs import MetricAttr, Observability, bind_counters
 from .buffer import BufferPool
 from .disk import DiskArray, ReadReceipt
 
@@ -94,7 +95,25 @@ class RetryPolicy:
 
 
 class AsyncPageReader:
-    """Coordinates demand reads and prefetches against one buffer pool."""
+    """Coordinates demand reads and prefetches against one buffer pool.
+
+    All counters live in the metrics registry behind the attribute facade
+    (``reader.retries`` etc.); with tracing enabled the reader emits
+    instant events for demand/prefetch issue, coalescing, retries,
+    backoff, hedges and faults on the ``reader`` track.
+    """
+
+    demand_hits = MetricAttr("demand_hits")
+    demand_reads = MetricAttr("demand_reads")
+    demand_covered = MetricAttr("demand_covered")
+    prefetches = MetricAttr("prefetches")
+    faults_seen = MetricAttr("faults_seen")
+    retries = MetricAttr("retries")
+    timeouts = MetricAttr("timeouts")
+    checksum_failures = MetricAttr("checksum_failures")
+    hedges = MetricAttr("hedges")
+    hedge_wins = MetricAttr("hedge_wins")
+    backoff_us = MetricAttr("backoff_us")
 
     def __init__(
         self,
@@ -103,28 +122,31 @@ class AsyncPageReader:
         pool: BufferPool,
         policy: Optional[RetryPolicy] = None,
         seed: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.env = env
         self.disks = disks
         self.pool = pool
         self.policy = policy
+        self.obs = obs if obs is not None else Observability()
+        self._tracer = self.obs.tracer
+        bind_counters(
+            self, self.obs.metrics, "reader.",
+            (
+                "demand_hits", "demand_reads", "demand_covered", "prefetches",
+                "faults_seen", "retries", "timeouts", "checksum_failures",
+                "hedges", "hedge_wins", "backoff_us",
+            ),
+        )
         self._rng = random.Random((seed << 8) ^ 0x5EED)
         self._inflight: dict[int, Event] = {}
-        self.demand_hits = 0
-        self.demand_reads = 0
-        self.demand_covered = 0  # demand found the page already in flight
-        self.prefetches = 0
-        # Resilience counters.
-        self.faults_seen = 0
-        self.retries = 0
-        self.timeouts = 0
-        self.checksum_failures = 0
-        self.hedges = 0
-        self.hedge_wins = 0
-        self.backoff_us = 0.0
         # Degradation switches (flipped by the query engine's ladder).
         self.hedge_enabled = True
         self.prefetch_enabled = True
+
+    def _mark(self, name: str, **args) -> None:
+        if self._tracer.enabled:
+            self._tracer.instant(name, track="reader", cat="reader", **args)
 
     @property
     def outstanding(self) -> int:
@@ -145,9 +167,11 @@ class AsyncPageReader:
         coalesced = event is not None
         if coalesced:
             self.demand_covered += 1
+            self._mark("demand-coalesced", page=page_id)
         else:
             event = self._start_read(page_id)
             self.demand_reads += 1
+            self._mark("demand", page=page_id)
         receipt = None
         try:
             receipt = yield event
@@ -179,6 +203,7 @@ class AsyncPageReader:
         if self.pool.contains(page_id) or page_id in self._inflight:
             return None
         self.prefetches += 1
+        self._mark("prefetch", page=page_id)
         return self._start_read(page_id)
 
     # -- read paths ----------------------------------------------------------
@@ -201,6 +226,7 @@ class AsyncPageReader:
                 delay = policy.backoff_delay_us(attempt, self._rng)
                 self.retries += 1
                 self.backoff_us += delay
+                self._mark("retry", page=page_id, attempt=attempt, backoff_us=delay)
                 yield self.env.timeout(delay)
             try:
                 receipt = yield from self._attempt(page_id, attempt)
@@ -208,6 +234,7 @@ class AsyncPageReader:
                 self.faults_seen += 1
                 if isinstance(fault, (DiskTimeoutError, WaitTimeout)):
                     self.timeouts += 1
+                self._mark("fault", page=page_id, attempt=attempt, kind=type(fault).__name__)
                 last_error = fault
                 continue
             try:
@@ -236,22 +263,35 @@ class AsyncPageReader:
         return receipt
 
     def _race_with_hedge(self, page_id: int, primary: Event, attempt: int, deadline):
-        """Wait briefly on the primary, then race it against the mirror."""
+        """Wait briefly on the primary, then race it against the mirror.
+
+        The attempt's total wait never exceeds ``deadline``: the hedge
+        cutoff is clamped to the deadline, and the race afterwards only
+        gets the genuinely remaining budget.  (An unclamped cutoff used to
+        let an attempt run for ``cutoff + deadline``.)
+        """
         cutoff = self.policy.hedge_after_us
+        if deadline is not None and cutoff > deadline:
+            cutoff = deadline
         try:
             receipt = yield with_timeout(self.env, primary, cutoff, detail="hedge cutoff")
             return receipt
         except WaitTimeout:
             pass  # primary is slow — hedge against the mirror
+        if deadline is not None and deadline - cutoff <= 0:
+            # The cutoff consumed the whole per-attempt budget: this
+            # attempt is out of time before a hedge could help.
+            raise WaitTimeout(deadline, f"page {page_id}")
         self.hedges += 1
+        self._mark("hedge", page=page_id, attempt=attempt)
         hedge = self.disks.read_page(page_id, replica=attempt + 1)
         race = first_success(self.env, [primary, hedge])
         if deadline is not None:
-            remaining = deadline - cutoff if deadline > cutoff else deadline
-            race = with_timeout(self.env, race, remaining, detail=f"page {page_id}")
+            race = with_timeout(self.env, race, deadline - cutoff, detail=f"page {page_id}")
         winner, receipt = yield race
         if winner == 1:
             self.hedge_wins += 1
+            self._mark("hedge-win", page=page_id, attempt=attempt)
         return receipt
 
     def _delivered_checksum(self, receipt: ReadReceipt) -> int:
@@ -284,7 +324,14 @@ class AsyncPageReader:
             pass  # counted in _fill; the page stays non-resident
 
     def preload(self, page_ids) -> None:
-        """Instantly mark pages resident (the 'in memory' baseline curves)."""
+        """Instantly mark pages resident (the 'in memory' baseline curves).
+
+        Residency is installed without touching the pool's hit/miss
+        counters (routing through ``pool.access`` used to charge one miss
+        per page, polluting the baseline's hit rate before the measured
+        scan even started), and any statistics the installs did disturb
+        (eviction counts in a small pool) are reset afterwards.
+        """
         for page_id in page_ids:
-            if not self.pool.contains(page_id):
-                self.pool.access(page_id)
+            self.pool.install(page_id)
+        self.pool.reset_stats()

@@ -21,6 +21,7 @@ from typing import Optional
 from ..des import Environment
 from ..faults.errors import SimulatedCrash
 from ..faults.injector import CrashInjector, WriteOutcome
+from ..obs import MetricAttr, Observability, bind_counters
 from ..storage.config import DiskParameters, StorageConfig
 from ..storage.disk import DiskArray
 from .records import LogRecord, NO_PAGE, RecordType, encode_record, scan_records
@@ -29,7 +30,17 @@ __all__ = ["WriteAheadLog"]
 
 
 class WriteAheadLog:
-    """Append-only record log on a dedicated simulated spindle."""
+    """Append-only record log on a dedicated simulated spindle.
+
+    Counters live in the observability registry behind the attribute
+    facade; each append is recorded as a span on the ``wal`` track,
+    timestamped on the log's own I/O clock.
+    """
+
+    appends = MetricAttr("appends")
+    torn_appends = MetricAttr("torn_appends")
+    bytes_written = MetricAttr("bytes_written")
+    write_us = MetricAttr("write_us")
 
     def __init__(
         self,
@@ -37,23 +48,26 @@ class WriteAheadLog:
         page_size: int = 16 * 1024,
         disk: Optional[DiskParameters] = None,
         crash: Optional[CrashInjector] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.env = env
         self.page_size = page_size
         self.crash = crash
+        self.obs = obs if obs is not None else Observability()
+        self._tracer = self.obs.tracer
+        bind_counters(
+            self, self.obs.metrics, "wal.",
+            ("appends", "torn_appends", "bytes_written", "write_us"),
+        )
         config = StorageConfig(
             page_size=page_size,
             num_disks=1,
             buffer_pool_pages=1,
             disk=disk if disk is not None else DiskParameters(),
         )
-        self._device = DiskArray(env, config)
+        self._device = DiskArray(env, config, obs=self.obs, name="wal-disk")
         self._data = bytearray()
         self._next_lsn = 1
-        self.appends = 0
-        self.torn_appends = 0
-        self.bytes_written = 0
-        self.write_us = 0.0
 
     # -- durable state -------------------------------------------------------
 
@@ -96,14 +110,25 @@ class WriteAheadLog:
         if crashable and self.crash is not None:
             outcome = self.crash.on_wal_append()
             count = self.crash.wal_appends
+        start = self.env.now
         if outcome is WriteOutcome.TORN:
             torn = encoded[: max(1, len(encoded) // 2)]
             self._write_bytes(torn)
             self.torn_appends += 1
+            if self._tracer.enabled:
+                self._tracer.complete(
+                    "append", "wal", start, cat="wal",
+                    lsn=record.lsn, type=record_type.name, bytes=len(torn), outcome="torn",
+                )
             raise SimulatedCrash("wal-append-torn", count)
         self._write_bytes(encoded)
         self._next_lsn += 1
         self.appends += 1
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "append", "wal", start, cat="wal",
+                lsn=record.lsn, type=record_type.name, bytes=len(encoded), outcome="ok",
+            )
         if outcome is WriteOutcome.CRASH_AFTER:
             raise SimulatedCrash("wal-append", count)
         return record

@@ -37,6 +37,7 @@ from ..faults.errors import SimulatedCrash
 from ..faults.injector import CrashInjector, WriteOutcome
 from ..faults.plan import FaultPlan
 from ..image import encode_page
+from ..obs import MetricAttr, Observability, bind_counters
 from ..storage.config import DiskParameters, StorageConfig
 from ..storage.disk import DiskArray
 from .log import WriteAheadLog
@@ -94,12 +95,17 @@ class WalStats:
 class WalManager:
     """Crash consistency for one tree: WAL, write-back, checkpoints."""
 
+    commits = MetricAttr("commits")
+    checkpoints = MetricAttr("checkpoints")
+    pages_flushed = MetricAttr("pages_flushed")
+
     def __init__(
         self,
         tree,
         plan: Optional[FaultPlan] = None,
         disk: Optional[DiskParameters] = None,
         checkpoint_interval: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         """Attach to ``tree`` (which must expose ``env``/``store``/``pool``).
 
@@ -121,13 +127,25 @@ class WalManager:
         self.checkpoint_interval = checkpoint_interval
         self.crash = CrashInjector(plan) if plan is not None else None
         self.io_env = Environment()
+        self.obs = obs if obs is not None else Observability()
+        # The WAL stack's durable writes advance the private I/O clock, so
+        # an unbound tracer handed to this manager timestamps on it.
+        if self.obs.tracer.enabled and self.obs.tracer.clock is None:
+            self.obs.tracer.clock = lambda: self.io_env.now
+        self._tracer = self.obs.tracer
+        bind_counters(
+            self, self.obs.metrics, "walmgr.", ("commits", "checkpoints", "pages_flushed")
+        )
         disk_params = disk if disk is not None else DiskParameters()
         self._data_device = DiskArray(
             self.io_env,
             StorageConfig(page_size=self.page_size, num_disks=1, buffer_pool_pages=1, disk=disk_params),
+            obs=self.obs,
+            name="wal-data",
         )
         self.log = WriteAheadLog(
-            self.io_env, page_size=self.page_size, disk=disk_params, crash=self.crash
+            self.io_env, page_size=self.page_size, disk=disk_params, crash=self.crash,
+            obs=self.obs,
         )
         #: The simulated on-disk image: encoded page bytes and the checksum
         #: stamped when each write began (see :class:`CrashImage`).
@@ -135,9 +153,6 @@ class WalManager:
         self.durable_checksums: dict[int, int] = {}
         self._txn: Optional[TransactionContext] = None
         self._next_txn_id = 1
-        self.commits = 0
-        self.checkpoints = 0
-        self.pages_flushed = 0
         # Wire into the substrate.  The bound methods are captured once so
         # detach() can compare identities (a fresh ``self._observe`` access
         # would create a new bound-method object every time).
@@ -219,6 +234,11 @@ class WalManager:
             return  # read-only transaction: nothing to make durable
         self.log.append(RecordType.COMMIT, txn.txn_id, NO_PAGE, self._meta().pack())
         self.commits += 1
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "commit", track="walmgr", cat="wal",
+                txn=txn.txn_id, pages=len(txn.written),
+            )
         for page_id in txn.written:
             self.pool.release_no_steal(page_id)
         if self.checkpoint_interval and self.commits % self.checkpoint_interval == 0:
@@ -249,6 +269,11 @@ class WalManager:
         if self.crash is not None:
             outcome = self.crash.on_page_write()
             count = self.crash.page_writes
+        if self._tracer.enabled:
+            self._tracer.instant(
+                "flush-page", track="walmgr", cat="wal",
+                page=page_id, outcome=outcome.value,
+            )
         if outcome is WriteOutcome.TORN:
             self.durable_pages[page_id] = data[: max(1, len(data) // 2)]
             self.durable_checksums[page_id] = checksum
@@ -282,10 +307,15 @@ class WalManager:
             del self.durable_pages[page_id]
             del self.durable_checksums[page_id]
         to_flush = sorted(set(self.pool.dirty_pages) | (live - set(self.durable_pages)))
+        start = self.io_env.now
         for page_id in to_flush:
             self.flush_page(page_id)
         self.log.append(RecordType.CHECKPOINT, SYSTEM_TXN, NO_PAGE, self._meta().pack())
         self.checkpoints += 1
+        if self._tracer.enabled:
+            self._tracer.complete(
+                "checkpoint", "walmgr", start, cat="wal", pages=len(to_flush)
+            )
         return len(to_flush)
 
     def _snapshot_all(self) -> None:
