@@ -1,0 +1,232 @@
+"""Simulator self-performance: batched trace engine vs. the frozen baseline.
+
+Races the two memory-trace engines on the *same* recorded search workload:
+
+1. Build a disk-first fpB+-Tree and record every trace op a batch of
+   searches produces (via :class:`repro.btree.trace.RecordingTracer`).
+2. Compile the recorded ops into per-engine call lists, each using the
+   engine's native entry points — the batched engine gets one
+   ``probe_run``/``read_run``/``prefetch_run`` call per op, the frozen
+   pre-change engine (:mod:`repro.mem.legacy`) gets the old tracer's
+   scalar expansion (``read`` + ``probe_penalty`` per probe).  Compiling
+   to bound methods up front keeps dispatch overhead out of the race.
+3. Time several interleaved repetitions of each list with GC paused and
+   take the per-engine minimum (the least-interference estimate on a
+   shared machine).
+4. Assert golden equivalence on the raced trace — both engines must end
+   with field-identical MemoryStats and clocks — then write both
+   wall-clock numbers, the speedup, and throughput (simulated accesses/sec
+   and trace ops/sec) to ``BENCH_selfperf.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_selfperf.py [--smoke] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import random
+import sys
+import time
+from collections import deque
+from dataclasses import fields
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.btree.context import TreeEnvironment
+from repro.btree.trace import RecordingTracer
+from repro.core.disk_first import DiskFirstFpTree
+from repro.mem.hierarchy import MemorySystem
+from repro.mem.legacy import LegacyMemorySystem
+from repro.mem.stats import MemoryStats
+
+#: Default workload: the paper's search experiment at the 32 KB page point
+#: (fig10's geometry), scaled to ~64k trace ops.
+DEFAULT = dict(page_size=32_768, num_keys=100_000, searches=2_000, reps=7)
+SMOKE = dict(page_size=32_768, num_keys=10_000, searches=200, reps=2)
+KEY_SPACE = 10_000_000
+SEED = 42
+
+
+def record_search_ops(page_size: int, num_keys: int, searches: int) -> list[tuple]:
+    """Record the trace-op stream of a search batch on a bulkloaded tree."""
+    rng = random.Random(SEED)
+    keys = rng.sample(range(KEY_SPACE), num_keys)
+    mem = MemorySystem()
+    env = TreeEnvironment(mem=mem, page_size=page_size)
+    tree = DiskFirstFpTree(env=env)
+    recorder = RecordingTracer(mem)
+    env.tracer = recorder
+    tree.tracer = recorder  # trees cache the tracer at construction
+    for key in sorted(keys):
+        tree.insert(key, key)
+    recorder.ops.clear()  # keep only the search phase
+    mem.clear_caches()
+    for key in rng.sample(keys, searches):
+        tree.search(key)
+    return recorder.ops
+
+
+def compile_batched(mem: MemorySystem, ops: list[tuple]) -> list[tuple]:
+    """One bound batched entry point per recorded op."""
+    compiled = []
+    for op in ops:
+        kind = op[0]
+        if kind == "probe":
+            compiled.append((mem.probe_run, (op[1], op[2])))
+        elif kind == "read":
+            compiled.append((mem.read_run, (op[1], op[2])))
+        elif kind == "prefetch":
+            compiled.append((mem.prefetch_run, (op[1], op[2])))
+        elif kind == "write":
+            compiled.append((mem.write_run, (op[1], op[2])))
+        elif kind == "busy":
+            compiled.append((mem.busy, (op[1],)))
+        elif kind == "visit_node":
+            compiled.append((mem.busy, (mem.cpu.node_visit,)))
+        elif kind == "call_overhead":
+            compiled.append((mem.busy, (mem.cpu.function_call,)))
+        else:
+            raise ValueError(f"unhandled trace op {kind!r}")
+    return compiled
+
+
+def compile_legacy(mem: LegacyMemorySystem, ops: list[tuple]) -> list[tuple]:
+    """The pre-change tracer's scalar expansion of each recorded op."""
+    compiled = []
+    for op in ops:
+        kind = op[0]
+        if kind == "probe":
+            compiled.append((mem.read, (op[1], op[2])))
+            compiled.append((mem.probe_penalty, ()))
+        elif kind == "read":
+            compiled.append((mem.read, (op[1], op[2])))
+        elif kind == "prefetch":
+            compiled.append((mem.prefetch, (op[1], op[2])))
+        elif kind == "write":
+            compiled.append((mem.write, (op[1], op[2])))
+        elif kind == "busy":
+            compiled.append((mem.busy, (op[1],)))
+        elif kind == "visit_node":
+            compiled.append((mem.busy, (mem.cpu.node_visit,)))
+        elif kind == "call_overhead":
+            compiled.append((mem.busy, (mem.cpu.function_call,)))
+        else:
+            raise ValueError(f"unhandled trace op {kind!r}")
+    return compiled
+
+
+def final_state(mem) -> dict:
+    """Every MemoryStats field plus the clock — the equivalence fingerprint."""
+    state = {
+        f.name: getattr(mem.stats, f.name)
+        for f in fields(MemoryStats)
+        if f.name != "extra"
+    }
+    state["now"] = mem.now
+    return state
+
+
+def timed_replay(make_engine, compiler, ops: list[tuple]):
+    """One timed replay on a fresh engine (GC paused during the loop)."""
+    mem = make_engine()
+    compiled = compiler(mem, ops)
+    gc.collect()
+    gc.disable()
+    start = time.perf_counter()
+    # deque(genexp, maxlen=0) drives the calls from C — the cheapest
+    # per-entry dispatch available, so the measurement is dominated by the
+    # engines rather than the driver loop.  Both engines use the same loop.
+    deque((fn(*fn_args) for fn, fn_args in compiled), maxlen=0)
+    elapsed = time.perf_counter() - start
+    gc.enable()
+    return elapsed, mem
+
+
+def race(ops: list[tuple], reps: int) -> dict:
+    """Interleaved min-of-reps race; returns the result record."""
+    # Warm-up (bytecode caches, allocator) — untimed.
+    timed_replay(LegacyMemorySystem, compile_legacy, ops)
+    timed_replay(MemorySystem, compile_batched, ops)
+    best_legacy = best_batched = None
+    for __ in range(reps):
+        t_legacy, legacy_mem = timed_replay(LegacyMemorySystem, compile_legacy, ops)
+        t_batched, batched_mem = timed_replay(MemorySystem, compile_batched, ops)
+        if best_legacy is None or t_legacy < best_legacy:
+            best_legacy = t_legacy
+        if best_batched is None or t_batched < best_batched:
+            best_batched = t_batched
+    legacy_state = final_state(legacy_mem)
+    batched_state = final_state(batched_mem)
+    if legacy_state != batched_state:
+        diffs = {
+            key: (legacy_state[key], batched_state[key])
+            for key in legacy_state
+            if legacy_state[key] != batched_state[key]
+        }
+        raise AssertionError(f"engines diverged on the raced trace: {diffs}")
+    accesses = batched_state["accesses"]
+    return {
+        "legacy_wall_s": round(best_legacy, 6),
+        "batched_wall_s": round(best_batched, 6),
+        "speedup": round(best_legacy / best_batched, 3),
+        "trace_ops": len(ops),
+        "simulated_accesses": accesses,
+        "legacy_accesses_per_s": round(accesses / best_legacy),
+        "batched_accesses_per_s": round(accesses / best_batched),
+        "legacy_ops_per_s": round(len(ops) / best_legacy),
+        "batched_ops_per_s": round(len(ops) / best_batched),
+        "stats_identical": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload + 2 reps (CI wiring check, not a measurement)",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="timed repetitions per engine")
+    parser.add_argument("--out", default="BENCH_selfperf.json", help="result file")
+    args = parser.parse_args(argv)
+
+    params = dict(SMOKE if args.smoke else DEFAULT)
+    if args.reps is not None:
+        params["reps"] = args.reps
+
+    print(
+        f"recording search workload: page_size={params['page_size']} "
+        f"num_keys={params['num_keys']} searches={params['searches']}"
+    )
+    ops = record_search_ops(params["page_size"], params["num_keys"], params["searches"])
+    print(f"recorded {len(ops)} trace ops; racing {params['reps']} reps per engine")
+    result = race(ops, params["reps"])
+    result["workload"] = {
+        "tree": "fp-disk",
+        "page_size": params["page_size"],
+        "num_keys": params["num_keys"],
+        "searches": params["searches"],
+        "key_space": KEY_SPACE,
+        "seed": SEED,
+        "reps": params["reps"],
+        "smoke": bool(args.smoke),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"legacy {result['legacy_wall_s'] * 1000:.1f} ms  "
+        f"batched {result['batched_wall_s'] * 1000:.1f} ms  "
+        f"speedup {result['speedup']:.2f}x  (stats identical)"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,14 @@ def main(argv: list[str] | None = None) -> int:
         help="override a keyword parameter of the experiment function",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent sweep cells over N worker processes; results "
+        "are merged deterministically, so any N gives identical output",
+    )
+    parser.add_argument(
         "--json",
         dest="json_path",
         metavar="FILE",
@@ -69,12 +77,19 @@ def main(argv: list[str] | None = None) -> int:
         name, __, value = item.partition("=")
         overrides[name] = _parse_value(value)
 
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    from .orchestrator import run_experiment
+
     collected = []
     for name in names:
         if name not in ALL_EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}; try 'list'")
         started = time.time()
-        result = ALL_EXPERIMENTS[name](**overrides) if len(names) == 1 else ALL_EXPERIMENTS[name]()
+        result = run_experiment(
+            name, overrides if len(names) == 1 else None, jobs=args.jobs
+        )
         print(result.format_table())
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
         collected.append(result)

@@ -107,12 +107,32 @@ def measure_operations(
     operation: Callable[[int], object],
     arguments: Iterable,
     clear_caches: bool = True,
+    progress: Optional[Callable[[int, int], object]] = None,
 ) -> MeasuredPhase:
-    """Run a batch under measurement (cold caches, as in the paper)."""
-    items = list(arguments)
+    """Run a batch under measurement (cold caches, as in the paper).
+
+    ``arguments`` that already know their length (lists, tuples, ranges)
+    are iterated in place; only true one-shot iterators are materialized.
+    ``progress``, if given, is called as ``progress(done, total)`` after
+    every operation — the callback runs outside the simulated cost model,
+    so it cannot perturb measured cycles.
+    """
+    try:
+        count = len(arguments)  # type: ignore[arg-type]
+        items = arguments
+    except TypeError:
+        items = list(arguments)
+        count = len(items)
     if clear_caches:
         mem.clear_caches()
     with mem.measure() as phase:
-        for item in items:
-            operation(item)
-    return MeasuredPhase(operations=len(items), stats=phase)
+        if progress is None:
+            for item in items:
+                operation(item)
+        else:
+            done = 0
+            for item in items:
+                operation(item)
+                done += 1
+                progress(done, count)
+    return MeasuredPhase(operations=count, stats=phase)

@@ -3,8 +3,15 @@
 Caches operate on *line indices* (byte address // line size); the caller is
 responsible for the address-to-line mapping (see
 :meth:`repro.mem.config.MemoryConfig.line_of`).  Each set is a dict whose
-insertion order doubles as the LRU order — a hit re-inserts the line at the
-most-recently-used end.
+insertion order doubles as the LRU order — a hit moves the line to the
+most-recently-used end via :meth:`_touch_mru`, the single move-to-MRU
+helper shared by :meth:`lookup` and :meth:`insert`.
+
+Direct-mapped caches (``associativity == 1``, e.g. the paper's 2 MB L2) take
+a fast path: each set holds at most one line, so LRU order is meaningless
+and residency is a flat-list slot compare — no per-access dict churn.  Both
+representations implement identical replacement semantics; only the
+bookkeeping cost differs.
 """
 
 from __future__ import annotations
@@ -17,6 +24,17 @@ __all__ = ["Cache"]
 class Cache:
     """One level of a set-associative cache, tracked at line granularity."""
 
+    __slots__ = (
+        "size_bytes",
+        "line_size",
+        "associativity",
+        "num_sets",
+        "_sets",
+        "_dm_slots",
+        "hits",
+        "misses",
+    )
+
     def __init__(self, size_bytes: int, line_size: int, associativity: int) -> None:
         if associativity < 1:
             raise ValueError(f"associativity must be >= 1, got {associativity}")
@@ -26,25 +44,50 @@ class Cache:
         self.line_size = line_size
         self.associativity = associativity
         self.num_sets = size_bytes // (line_size * associativity)
-        # One dict per set; keys are line indices, values unused (None).
-        self._sets: list[dict[int, None]] = [{} for __ in range(self.num_sets)]
+        if associativity == 1:
+            # Direct-mapped fast path: one slot per set (None = empty).
+            self._sets: Optional[list[dict[int, None]]] = None
+            self._dm_slots: Optional[list[Optional[int]]] = [None] * self.num_sets
+        else:
+            # One dict per set; keys are line indices, values unused (None).
+            self._sets = [{} for __ in range(self.num_sets)]
+            self._dm_slots = None
         self.hits = 0
         self.misses = 0
 
     def _set_of(self, line: int) -> dict[int, None]:
         return self._sets[line % self.num_sets]
 
+    @staticmethod
+    def _touch_mru(cache_set: dict[int, None], line: int) -> None:
+        """Move a resident line to the MRU end of its set.
+
+        Dict insertion order is the LRU order, so delete-and-reinsert is the
+        one move-to-MRU idiom; every path that refreshes recency must go
+        through here so lookup and insert cannot diverge.
+        """
+        del cache_set[line]
+        cache_set[line] = None
+
     def contains(self, line: int) -> bool:
         """Check residency without updating LRU order or counters."""
-        return line in self._set_of(line)
+        slots = self._dm_slots
+        if slots is not None:
+            return slots[line % self.num_sets] == line
+        return line in self._sets[line % self.num_sets]
 
     def lookup(self, line: int) -> bool:
         """Probe the cache; updates LRU order and hit/miss counters."""
-        cache_set = self._set_of(line)
+        slots = self._dm_slots
+        if slots is not None:
+            if slots[line % self.num_sets] == line:
+                self.hits += 1
+                return True
+            self.misses += 1
+            return False
+        cache_set = self._sets[line % self.num_sets]
         if line in cache_set:
-            # Move to MRU position.
-            del cache_set[line]
-            cache_set[line] = None
+            self._touch_mru(cache_set, line)
             self.hits += 1
             return True
         self.misses += 1
@@ -52,10 +95,17 @@ class Cache:
 
     def insert(self, line: int) -> Optional[int]:
         """Install a line, returning the evicted victim's line index, if any."""
-        cache_set = self._set_of(line)
+        slots = self._dm_slots
+        if slots is not None:
+            index = line % self.num_sets
+            victim = slots[index]
+            if victim == line:
+                return None
+            slots[index] = line
+            return victim
+        cache_set = self._sets[line % self.num_sets]
         if line in cache_set:
-            del cache_set[line]
-            cache_set[line] = None
+            self._touch_mru(cache_set, line)
             return None
         victim = None
         if len(cache_set) >= self.associativity:
@@ -66,7 +116,14 @@ class Cache:
 
     def invalidate(self, line: int) -> bool:
         """Drop a line if present; returns whether it was resident."""
-        cache_set = self._set_of(line)
+        slots = self._dm_slots
+        if slots is not None:
+            index = line % self.num_sets
+            if slots[index] == line:
+                slots[index] = None
+                return True
+            return False
+        cache_set = self._sets[line % self.num_sets]
         if line in cache_set:
             del cache_set[line]
             return True
@@ -74,11 +131,24 @@ class Cache:
 
     def clear(self) -> None:
         """Empty the cache (counters are preserved)."""
+        slots = self._dm_slots
+        if slots is not None:
+            for index in range(self.num_sets):
+                slots[index] = None
+            return
         for cache_set in self._sets:
             cache_set.clear()
 
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (residency is untouched)."""
+        self.hits = 0
+        self.misses = 0
+
     def resident_lines(self) -> int:
         """Total number of lines currently cached."""
+        slots = self._dm_slots
+        if slots is not None:
+            return sum(1 for slot in slots if slot is not None)
         return sum(len(s) for s in self._sets)
 
     def __repr__(self) -> str:

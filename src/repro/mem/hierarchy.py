@@ -26,11 +26,26 @@ arbitrarily-deep jump-pointer-array prefetching.
 Measurement can be switched off (``enabled = False``) so that untimed phases
 (bulkload, tree building) run at full Python speed; the paper likewise
 measures only the operation phase after clearing the caches.
+
+Two code paths produce the exact same simulated timeline:
+
+* the **scalar path** (:meth:`read` / :meth:`write` / :meth:`prefetch`) —
+  one :meth:`_touch` per line, kept as the readable reference, and
+* the **batched path** (:meth:`read_run` / :meth:`write_run` /
+  :meth:`prefetch_run` / :meth:`probe_run`) — the same per-line state
+  machine flattened into a single loop with locals bound once, which is
+  what :class:`repro.btree.trace.Tracer` drives.
+
+The golden-equivalence contract (DESIGN.md §8, ``test_mem_equivalence.py``)
+pins the two paths — and the frozen pre-change engine in
+:mod:`repro.mem.legacy` — to field-identical :class:`MemoryStats` on a
+committed trace fixture.  Any edit here must preserve that.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from heapq import heappop, heappush
 from typing import Iterator
 
 from .cache import Cache
@@ -39,9 +54,39 @@ from .stats import MemoryStats
 
 __all__ = ["MemorySystem"]
 
+#: Sentinel completion time for "no in-flight fetch" in hot-loop locals.
+_NEVER = float("inf")
+
 
 class MemorySystem:
     """Cycle-accounting model of the processor's view of memory."""
+
+    __slots__ = (
+        "config",
+        "cpu",
+        "l1",
+        "l2",
+        "stats",
+        "now",
+        "enabled",
+        "_bus_free",
+        "_inflight",
+        "_inflight_seq",
+        "_heap",
+        "_pending",
+        "_wake",
+        "_next_seq",
+        "_line_size",
+        "_probe_busy",
+        "_probe_stall",
+        "_l1_dm",
+        "_l1_sets",
+        "_l1_nsets",
+        "_l1_assoc",
+        "_l2_dm",
+        "_l2_sets",
+        "_l2_nsets",
+    )
 
     def __init__(
         self,
@@ -57,6 +102,40 @@ class MemorySystem:
         self.enabled: bool = True
         self._bus_free: float = 0.0
         self._inflight: dict[int, float] = {}  # line -> completion time
+        # Completion-ordered heap over the in-flight fetches with lazy
+        # retirement: entries are (completion, seq, line); an entry is stale
+        # once its seq no longer matches ``_inflight_seq[line]`` (the line
+        # was demanded, cleared, or re-posted since).  The heap makes "has
+        # anything landed?" an O(1) peek and the MSHR-victim choice an
+        # O(log n) pop, replacing per-reservation scans of ``_inflight``.
+        self._inflight_seq: dict[int, int] = {}
+        self._heap: list[tuple[float, int, int]] = []
+        # New posts go to ``_pending`` (a plain append) and are only pushed
+        # into the heap when the reserve slow path actually needs it: a large
+        # share of prefetches is popped by a covering demand access first and
+        # then never pays heappush/heappop at all.  ``_wake`` is a conservative
+        # lower bound on the earliest live completion across heap + pending —
+        # posts lower it, retirements leave it low (a too-low bound merely
+        # triggers a harmless extra slow-path call) — so the hot loops' MSHR
+        # fast check stays one float compare.  Both containers are cleared in
+        # place only; hot loops cache bound methods on them.
+        self._pending: list[tuple[float, int, int]] = []
+        self._wake: float = _NEVER
+        self._next_seq: int = 0
+        # Hot-path constants, precomputed once: MemoryConfig and CpuCostModel
+        # are frozen dataclasses and the Cache objects (and their internal
+        # containers, which clear() empties in place) live for the system's
+        # lifetime, so these can never go stale.  Each saves attribute hops
+        # in loops that run once per simulated access.
+        self._line_size = config.line_size
+        self._probe_busy, self._probe_stall = cpu.probe_cost()
+        self._l1_dm = self.l1._dm_slots
+        self._l1_sets = self.l1._sets
+        self._l1_nsets = self.l1.num_sets
+        self._l1_assoc = self.l1.associativity
+        self._l2_dm = self.l2._dm_slots
+        self._l2_sets = self.l2._sets
+        self._l2_nsets = self.l2.num_sets
 
     # -- time charging -------------------------------------------------------
 
@@ -88,17 +167,123 @@ class MemorySystem:
         self.now += cycles
         self.stats.dcache_stall_cycles += cycles
 
-    # -- demand accesses -------------------------------------------------------
+    # -- in-flight fetch bookkeeping -----------------------------------------
+
+    def _post_fetch(self, line: int, completion: float) -> None:
+        """Record a non-blocking fetch (prefetch / write-allocate)."""
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._inflight[line] = completion
+        self._inflight_seq[line] = seq
+        self._pending.append((completion, seq, line))
+        if completion < self._wake:
+            self._wake = completion
+
+    def _pop_inflight(self, line: int) -> float | None:
+        """Remove a line from the in-flight set (its heap entry goes stale)."""
+        completion = self._inflight.pop(line, None)
+        if completion is not None:
+            del self._inflight_seq[line]
+        return completion
+
+    def _reserve_miss_handler(self) -> None:
+        """Stall until an MSHR is free, retiring landed prefetches.
+
+        Landed fetches (completion <= now) retire in the order they were
+        posted — the caches' LRU state depends on install order, and the
+        scalar engine retired in ``_inflight`` insertion order.  The heap
+        only answers "has anything landed?" and "which completes first?";
+        stale entries are discarded lazily via the seq check.
+        """
+        inflight = self._inflight
+        heap = self._heap
+        pending = self._pending
+        if not inflight:
+            if heap:
+                heap.clear()  # every remaining entry is stale
+            if pending:
+                pending.clear()
+            self._wake = _NEVER
+            return
+        seqs = self._inflight_seq
+        now = self.now
+        landed = []
+        if pending:
+            # Merge deferred posts.  Ones a demand access already covered
+            # (their seq no longer matches) are dropped, and ones that have
+            # already landed go straight to retirement — in the steady state
+            # that is most of them (L2-latency completions land before the
+            # next slow-path call), so they never touch the heap at all,
+            # which is the point of deferring.
+            for entry in pending:
+                if seqs.get(entry[2]) == entry[1]:
+                    if entry[0] <= now:
+                        landed.append((entry[1], entry[2]))
+                    else:
+                        heappush(heap, entry)
+            pending.clear()
+        while heap:
+            completion, seq, line = heap[0]
+            if seqs.get(line) != seq:
+                heappop(heap)  # stale: covered or retired since posting
+                continue
+            if completion > now:
+                break
+            heappop(heap)
+            landed.append((seq, line))
+        if landed:
+            # Retire in posting (seq) order == ``_inflight`` insertion order:
+            # the caches' LRU state depends on install order and the scalar
+            # engine retired in dict order.  Inlined _install: a retired line
+            # is never L1-resident (a demand covering it would have popped it
+            # from the in-flight set first), so a plain evict-and-add
+            # suffices; L2 may still hold it, which the unconditional
+            # direct-mapped store handles identically.
+            landed.sort()
+            l1_dm = self._l1_dm
+            l1_sets = self._l1_sets
+            l1_assoc = self._l1_assoc
+            l1_nsets = self._l1_nsets
+            l2_dm = self._l2_dm
+            l2_nsets = self._l2_nsets
+            l2 = self.l2
+            for __, line in landed:
+                del inflight[line]
+                del seqs[line]
+                if l1_dm is not None:
+                    l1_dm[line % l1_nsets] = line
+                else:
+                    l1_set = l1_sets[line % l1_nsets]
+                    if len(l1_set) >= l1_assoc:
+                        for victim in l1_set:
+                            break
+                        del l1_set[victim]
+                    l1_set[line] = None
+                if l2_dm is not None:
+                    l2_dm[line % l2_nsets] = line
+                else:
+                    l2.insert(line)
+        while len(inflight) >= self.config.miss_handlers:
+            completion, seq, line = heappop(heap)
+            if seqs.get(line) != seq:
+                continue
+            del inflight[line]
+            del seqs[line]
+            self._dcache_stall(completion - self.now)
+            self._install(line)
+        self._wake = heap[0][0] if heap else _NEVER
+
+    # -- demand accesses -----------------------------------------------------
 
     def read(self, address: int, nbytes: int = 4) -> None:
-        """Simulate a demand load of ``nbytes`` at ``address``."""
+        """Simulate a demand load of ``nbytes`` at ``address`` (scalar path)."""
         if not self.enabled:
             return
         for line in self.config.lines_touched(address, nbytes):
             self._touch(line)
 
     def write(self, address: int, nbytes: int = 4) -> None:
-        """Simulate a store.
+        """Simulate a store (scalar path).
 
         Stores retire through a store buffer and do not stall the pipeline:
         a write to a non-resident line allocates it via the memory bus (like
@@ -122,11 +307,11 @@ class MemorySystem:
                 # An L2-resident store allocation is an L2 hit just like the
                 # demand path in _touch; it only differs in not stalling.
                 self.stats.l2_hits += 1
-                self._inflight[line] = self.now + self.config.l2_hit_latency
+                self._post_fetch(line, self.now + self.config.l2_hit_latency)
                 continue
             start = max(self.now, self._bus_free)
             self._bus_free = start + self.config.bus_cycles_per_access
-            self._inflight[line] = start + self.config.memory_latency
+            self._post_fetch(line, start + self.config.memory_latency)
             self.stats.store_fetches += 1
 
     def _touch(self, line: int) -> None:
@@ -134,42 +319,584 @@ class MemorySystem:
         if self.l1.lookup(line):
             self.stats.l1_hits += 1
             return
+        self._touch_missed(line)
+
+    def _touch_missed(self, line: int) -> None:
+        """Demand-load a line that already missed L1 (access counted).
+
+        The prefetch-covered case — the common miss in fpB+-Tree searches —
+        is inlined (this helper sits on ``probe_run``'s miss path); the
+        L2-hit / full-fetch tail stays in :meth:`_touch_uncovered`.
+        """
         completion = self._inflight.pop(line, None)
         if completion is not None:
-            self._dcache_stall(completion - self.now)
-            self.stats.prefetch_covered += 1
-            self._install(line)
+            del self._inflight_seq[line]
+            stats = self.stats
+            stall = completion - self.now
+            if stall > 0:
+                self.now += stall
+                stats.dcache_stall_cycles += stall
+            stats.prefetch_covered += 1
+            l1_dm = self._l1_dm
+            if l1_dm is not None:
+                l1_dm[line % self._l1_nsets] = line
+            else:
+                l1_set = self._l1_sets[line % self._l1_nsets]
+                if line in l1_set:
+                    del l1_set[line]  # re-insert below moves it to MRU
+                elif len(l1_set) >= self._l1_assoc:
+                    for victim in l1_set:
+                        break
+                    del l1_set[victim]
+                l1_set[line] = None
+            l2_dm = self._l2_dm
+            if l2_dm is not None:
+                l2_dm[line % self._l2_nsets] = line
+            else:
+                self.l2.insert(line)
             return
-        if self.l2.lookup(line):
-            self.stats.l2_hits += 1
-            self._dcache_stall(self.config.l2_hit_latency)
-            self.l1.insert(line)
-            return
-        # Full miss: win the bus, wait for the line.
-        start = max(self.now, self._bus_free)
-        self._bus_free = start + self.config.bus_cycles_per_access
-        completion = start + self.config.memory_latency
-        self._dcache_stall(completion - self.now)
-        self.stats.memory_fetches += 1
-        self._install(line)
-        # Optional hardware next-line prefetcher (off by default; the
-        # paper's machine has none).
+        self._touch_uncovered(line)
+
+    def _touch_uncovered(self, line: int) -> None:
+        """The L1-missed, not-in-flight tail: L2 hit or full memory fetch.
+
+        Both cache levels are inlined (counted lookup, absent-line install)
+        so the whole tail runs in this one frame; see the batched entry
+        points below for the inlining invariants.
+        """
+        stats = self.stats
+        l2 = self.l2
+        l2_dm = self._l2_dm
+        if l2_dm is not None:
+            l2_index = line % self._l2_nsets
+            l2_hit = l2_dm[l2_index] == line
+        else:
+            l2_set = self._l2_sets[line % self._l2_nsets]
+            l2_hit = line in l2_set
+            if l2_hit:
+                del l2_set[line]
+                l2_set[line] = None  # move to MRU
+        if l2_hit:
+            l2.hits += 1
+            stats.l2_hits += 1
+            stall = self.config.l2_hit_latency
+            if stall > 0:
+                self.now += stall
+                stats.dcache_stall_cycles += stall
+        else:
+            l2.misses += 1
+            # Full miss: win the bus, wait for the line.
+            now = self.now
+            bus_free = self._bus_free
+            start = bus_free if bus_free > now else now
+            self._bus_free = start + self.config.bus_cycles_per_access
+            completion = start + self.config.memory_latency
+            stall = completion - now
+            if stall > 0:
+                self.now = completion
+                stats.dcache_stall_cycles += stall
+            stats.memory_fetches += 1
+            # Install into L2 (it just missed, so the line is absent).
+            if l2_dm is not None:
+                l2_dm[l2_index] = line
+            else:
+                if len(l2_set) >= l2.associativity:
+                    for victim in l2_set:
+                        break
+                    del l2_set[victim]
+                l2_set[line] = None
+        # Install into L1 (its lookup missed before this was called).
+        l1_dm = self._l1_dm
+        if l1_dm is not None:
+            l1_dm[line % self._l1_nsets] = line
+        else:
+            l1_set = self._l1_sets[line % self._l1_nsets]
+            if len(l1_set) >= self._l1_assoc:
+                for victim in l1_set:
+                    break
+                del l1_set[victim]
+            l1_set[line] = None
+        if not l2_hit and self.config.hardware_prefetch_lines:
+            self._hardware_prefetch(line)
+
+    def _hardware_prefetch(self, line: int) -> None:
+        """Optional next-line prefetcher on demand misses (off by default;
+        the paper's machine has none)."""
         for ahead in range(1, self.config.hardware_prefetch_lines + 1):
             neighbour = line + ahead
             if self.l1.contains(neighbour) or neighbour in self._inflight:
                 continue
             if self.l2.contains(neighbour):
-                self._inflight[neighbour] = self.now + self.config.l2_hit_latency
+                self._post_fetch(neighbour, self.now + self.config.l2_hit_latency)
                 continue
             start = max(self.now, self._bus_free)
             self._bus_free = start + self.config.bus_cycles_per_access
-            self._inflight[neighbour] = start + self.config.memory_latency
+            self._post_fetch(neighbour, start + self.config.memory_latency)
 
     def _install(self, line: int) -> None:
         self.l1.insert(line)
         self.l2.insert(line)
 
-    # -- prefetch ---------------------------------------------------------------
+    # -- batched entry points ------------------------------------------------
+    #
+    # One call per *range*, not per line: the per-line state machine of the
+    # scalar path, flattened into a single loop with every hot attribute
+    # bound to a local once and the per-line Cache/MSHR helper calls inlined
+    # (both cache representations — per-set LRU dicts and the direct-mapped
+    # slot list).  Cycle-for-cycle identical to the scalar path by
+    # construction, and pinned by the golden-equivalence tests; any edit to
+    # the scalar state machine must be mirrored here.  Returns the number of
+    # lines touched so callers (Tracer.scan / Tracer.move) can charge
+    # per-line busy time without recomputing the range.
+    #
+    # Inlining notes, load-bearing for equivalence:
+    # * Cache hit/miss counter deltas are accumulated in locals and flushed
+    #   once; only the totals are observable (nothing reads the counters
+    #   mid-run).
+    # * At install points the line is known to be absent from the cache
+    #   being inserted into (its lookup just missed), except the L2 insert
+    #   on the prefetch-covered path, where the line may still be resident —
+    #   for the direct-mapped L2 an unconditional slot store is identical in
+    #   both cases, and a set-associative L2 falls back to Cache.insert.
+    # * ``_reserve_miss_handler`` is replaced by an inline fast check: the
+    #   slow path runs only when an MSHR is actually needed or the heap top
+    #   says a fetch may have landed (a stale top triggers a harmless extra
+    #   call that purges it).
+
+    def read_run(self, address: int, nbytes: int = 4) -> int:
+        """Demand-load every line in ``[address, address + nbytes)``."""
+        if not self.enabled or nbytes <= 0:
+            return 0
+        line_size = self._line_size
+        line = address // line_size
+        if address % line_size + nbytes <= line_size:
+            # Single-line fast path (the range ends on the same line): key
+            # probes and small field reads — the bulk of a search trace —
+            # touch one line, and most of those hit L1.  Skip the multi-line
+            # loop's local-binding preamble.
+            stats = self.stats
+            stats.accesses += 1
+            l1 = self.l1
+            l1_dm = self._l1_dm
+            l1_index = line % self._l1_nsets
+            if l1_dm is not None:
+                if l1_dm[l1_index] == line:
+                    l1.hits += 1
+                    stats.l1_hits += 1
+                    return 1
+            else:
+                l1_set = self._l1_sets[l1_index]
+                if line in l1_set:
+                    del l1_set[line]
+                    l1_set[line] = None  # move to MRU
+                    l1.hits += 1
+                    stats.l1_hits += 1
+                    return 1
+            l1.misses += 1
+            # Same inlined prefetch-covered branch as probe_run (see there).
+            completion = self._inflight.pop(line, None)
+            if completion is None:
+                self._touch_uncovered(line)
+            else:
+                del self._inflight_seq[line]
+                stall = completion - self.now
+                if stall > 0:
+                    self.now += stall
+                    stats.dcache_stall_cycles += stall
+                stats.prefetch_covered += 1
+                if l1_dm is not None:
+                    l1_dm[l1_index] = line
+                else:
+                    # Lookup above just missed, so the line is absent.
+                    if len(l1_set) >= self._l1_assoc:
+                        for victim in l1_set:
+                            break
+                        del l1_set[victim]
+                    l1_set[line] = None
+                l2_dm = self._l2_dm
+                if l2_dm is not None:
+                    l2_dm[line % self._l2_nsets] = line
+                else:
+                    self.l2.insert(line)
+            return 1
+        last = (address + nbytes - 1) // line_size
+        nlines = last - line + 1
+        config = self.config
+        stats = self.stats
+        l1 = self.l1
+        l2 = self.l2
+        l1_dm = self._l1_dm
+        l1_sets = self._l1_sets
+        l1_nsets = self._l1_nsets
+        l1_assoc = self._l1_assoc
+        l2_dm = self._l2_dm
+        l2_sets = self._l2_sets
+        l2_nsets = self._l2_nsets
+        l2_insert = l2.insert
+        inflight = self._inflight
+        seqs = self._inflight_seq
+        l2_hit_latency = config.l2_hit_latency
+        memory_latency = config.memory_latency
+        bus_step = config.bus_cycles_per_access
+        hardware_prefetch = config.hardware_prefetch_lines
+        now = self.now
+        bus_free = self._bus_free
+        l1_hits = 0
+        l2_hits = 0
+        l2_lookups = 0
+        covered = 0
+        fetches = 0
+        stall_cycles = 0.0
+        for line in range(line, last + 1):
+            # L1 lookup (counted, LRU-refreshing).
+            if l1_dm is not None:
+                l1_index = line % l1_nsets
+                if l1_dm[l1_index] == line:
+                    l1_hits += 1
+                    continue
+            else:
+                l1_set = l1_sets[line % l1_nsets]
+                if line in l1_set:
+                    del l1_set[line]
+                    l1_set[line] = None  # move to MRU
+                    l1_hits += 1
+                    continue
+            completion = inflight.pop(line, None)
+            if completion is not None:
+                # Covered by an in-flight (or landed) prefetch: wait out the
+                # remainder, then install in both levels.
+                del seqs[line]
+                stall = completion - now
+                if stall > 0:
+                    now += stall
+                    stall_cycles += stall
+                covered += 1
+                if l1_dm is not None:
+                    l1_dm[l1_index] = line
+                else:
+                    if len(l1_set) >= l1_assoc:
+                        for victim in l1_set:
+                            break
+                        del l1_set[victim]
+                    l1_set[line] = None
+                if l2_dm is not None:
+                    l2_dm[line % l2_nsets] = line
+                else:
+                    l2_insert(line)
+                continue
+            # L2 lookup (counted, LRU-refreshing).
+            l2_lookups += 1
+            if l2_dm is not None:
+                l2_index = line % l2_nsets
+                l2_resident = l2_dm[l2_index] == line
+            else:
+                l2_set = l2_sets[line % l2_nsets]
+                l2_resident = line in l2_set
+                if l2_resident:
+                    del l2_set[line]
+                    l2_set[line] = None  # move to MRU
+            if l2_resident:
+                l2_hits += 1
+                now += l2_hit_latency
+                stall_cycles += l2_hit_latency
+                if l1_dm is not None:
+                    l1_dm[l1_index] = line
+                else:
+                    if len(l1_set) >= l1_assoc:
+                        for victim in l1_set:
+                            break
+                        del l1_set[victim]
+                    l1_set[line] = None
+                continue
+            # Full miss: win the bus, wait for the line, install in both.
+            start = bus_free if bus_free > now else now
+            bus_free = start + bus_step
+            stall = start + memory_latency - now
+            now += stall
+            stall_cycles += stall
+            fetches += 1
+            if l1_dm is not None:
+                l1_dm[l1_index] = line
+            else:
+                if len(l1_set) >= l1_assoc:
+                    for victim in l1_set:
+                        break
+                    del l1_set[victim]
+                l1_set[line] = None
+            if l2_dm is not None:
+                l2_dm[l2_index] = line
+            else:
+                l2_insert(line)
+            if hardware_prefetch:
+                self.now = now
+                self._bus_free = bus_free
+                self._hardware_prefetch(line)
+                now = self.now
+                bus_free = self._bus_free
+        self.now = now
+        self._bus_free = bus_free
+        stats.accesses += nlines
+        stats.l1_hits += l1_hits
+        stats.l2_hits += l2_hits
+        stats.prefetch_covered += covered
+        stats.memory_fetches += fetches
+        stats.dcache_stall_cycles += stall_cycles
+        l1.hits += l1_hits
+        l1.misses += nlines - l1_hits
+        l2.hits += l2_hits
+        l2.misses += l2_lookups - l2_hits
+        return nlines
+
+    def write_run(self, address: int, nbytes: int = 4) -> int:
+        """Store to every line in the range (non-blocking allocation)."""
+        if not self.enabled or nbytes <= 0:
+            return 0
+        config = self.config
+        line_size = self._line_size
+        line = address // line_size
+        last = (address + nbytes - 1) // line_size
+        nlines = last - line + 1
+        stats = self.stats
+        l1 = self.l1
+        l1_dm = self._l1_dm
+        l1_sets = self._l1_sets
+        l1_nsets = self._l1_nsets
+        l2_dm = self._l2_dm
+        l2_sets = self._l2_sets
+        l2_nsets = self._l2_nsets
+        inflight = self._inflight
+        seqs = self._inflight_seq
+        pending_append = self._pending.append
+        next_seq = self._next_seq
+        miss_handlers = config.miss_handlers
+        l2_hit_latency = config.l2_hit_latency
+        memory_latency = config.memory_latency
+        bus_step = config.bus_cycles_per_access
+        now = self.now
+        bus_free = self._bus_free
+        l1_hits = 0
+        l2_hits = 0
+        store_fetches = 0
+        # MSHR fast check tracked in locals — see prefetch_run.
+        inflight_len = len(inflight)
+        wake = self._wake
+        for line in range(line, last + 1):
+            now += 1  # store issue slot (busy time)
+            # L1 lookup (counted, LRU-refreshing).
+            if l1_dm is not None:
+                if l1_dm[line % l1_nsets] == line:
+                    l1_hits += 1
+                    continue
+            else:
+                l1_set = l1_sets[line % l1_nsets]
+                if line in l1_set:
+                    del l1_set[line]
+                    l1_set[line] = None  # move to MRU
+                    l1_hits += 1
+                    continue
+            if line in inflight:
+                continue
+            # MSHR fast check; the slow path retires landed fetches and
+            # stalls for a free handler.
+            if inflight_len >= miss_handlers or wake <= now:
+                self.now = now
+                self._reserve_miss_handler()
+                now = self.now
+                inflight_len = len(inflight)
+                wake = self._wake
+            # L2 residency probe (uncounted, no LRU update — as contains()).
+            if l2_dm is not None:
+                l2_resident = l2_dm[line % l2_nsets] == line
+            else:
+                l2_resident = line in l2_sets[line % l2_nsets]
+            if l2_resident:
+                # An L2-resident store allocation is an L2 hit just like the
+                # demand path in _touch; it only differs in not stalling.
+                l2_hits += 1
+                completion = now + l2_hit_latency
+            else:
+                start = bus_free if bus_free > now else now
+                bus_free = start + bus_step
+                completion = start + memory_latency
+                store_fetches += 1
+            inflight[line] = completion
+            seqs[line] = next_seq
+            pending_append((completion, next_seq, line))
+            next_seq += 1
+            inflight_len += 1
+            if completion < wake:
+                wake = completion
+        self.now = now
+        self._bus_free = bus_free
+        self._next_seq = next_seq
+        self._wake = wake
+        stats.accesses += nlines
+        stats.busy_cycles += nlines
+        stats.l1_hits += l1_hits
+        stats.l2_hits += l2_hits
+        stats.store_fetches += store_fetches
+        l1.hits += l1_hits
+        l1.misses += nlines - l1_hits
+        return nlines
+
+    def prefetch_run(self, address: int, nbytes: int) -> int:
+        """Issue non-blocking prefetches for every line in the range."""
+        if not self.enabled or nbytes <= 0:
+            return 0
+        config = self.config
+        line_size = self._line_size
+        line = address // line_size
+        last = (address + nbytes - 1) // line_size
+        nlines = last - line + 1
+        stats = self.stats
+        l1_dm = self._l1_dm
+        l1_sets = self._l1_sets
+        l1_nsets = self._l1_nsets
+        l2_dm = self._l2_dm
+        l2_sets = self._l2_sets
+        l2_nsets = self._l2_nsets
+        inflight = self._inflight
+        seqs = self._inflight_seq
+        pending_append = self._pending.append
+        next_seq = self._next_seq
+        miss_handlers = config.miss_handlers
+        # prefetch_issue >= 0 always; adding 0.0 matches busy()'s no-op.
+        issue = self.cpu.prefetch_issue
+        l2_hit_latency = config.l2_hit_latency
+        memory_latency = config.memory_latency
+        bus_step = config.bus_cycles_per_access
+        now = self.now
+        bus_free = self._bus_free
+        # The MSHR fast check is tracked in locals: posts within this run
+        # can only add completions (lowering ``wake``), and the occupancy
+        # only changes here or in the reserve slow path — both update the
+        # locals in place, so no per-line re-reads are needed.
+        inflight_len = len(inflight)
+        wake = self._wake
+        for line in range(line, last + 1):
+            now += issue
+            # L1 residency probe (uncounted, no LRU update — as contains()).
+            if l1_dm is not None:
+                l1_resident = l1_dm[line % l1_nsets] == line
+            else:
+                l1_resident = line in l1_sets[line % l1_nsets]
+            if l1_resident or line in inflight:
+                continue
+            if inflight_len >= miss_handlers or wake <= now:
+                self.now = now
+                self._reserve_miss_handler()
+                now = self.now
+                inflight_len = len(inflight)
+                wake = self._wake
+            if l2_dm is not None:
+                l2_resident = l2_dm[line % l2_nsets] == line
+            else:
+                l2_resident = line in l2_sets[line % l2_nsets]
+            if l2_resident:
+                # Satisfied from L2 without using the memory bus.
+                completion = now + l2_hit_latency
+            else:
+                start = bus_free if bus_free > now else now
+                bus_free = start + bus_step
+                completion = start + memory_latency
+            inflight[line] = completion
+            seqs[line] = next_seq
+            pending_append((completion, next_seq, line))
+            next_seq += 1
+            inflight_len += 1
+            if completion < wake:
+                wake = completion
+            line += 1
+        self.now = now
+        self._bus_free = bus_free
+        self._next_seq = next_seq
+        self._wake = wake
+        stats.busy_cycles += issue * nlines
+        stats.prefetches_issued += nlines
+        return nlines
+
+    def probe_run(self, address: int, nbytes: int = 4) -> int:
+        """One binary-search probe: ranged load + compare/branch cost.
+
+        Probes are the single hottest trace op (one per binary-search step),
+        and a probe's key load virtually always fits one cache line — so the
+        single-line L1 lookup is inlined here as well, skipping even the
+        ``read_run`` frame; wider or empty ranges defer to ``read_run``.
+        """
+        if not self.enabled:
+            return 0
+        stats = self.stats
+        if nbytes > 0:
+            line_size = self._line_size
+            line = address // line_size
+            if address % line_size + nbytes <= line_size:
+                nlines = 1
+                stats.accesses += 1
+                l1 = self.l1
+                l1_dm = self._l1_dm
+                l1_index = line % self._l1_nsets
+                if l1_dm is not None:
+                    hit = l1_dm[l1_index] == line
+                else:
+                    l1_set = self._l1_sets[l1_index]
+                    hit = line in l1_set
+                    if hit:
+                        del l1_set[line]
+                        l1_set[line] = None  # move to MRU
+                if hit:
+                    l1.hits += 1
+                    stats.l1_hits += 1
+                else:
+                    l1.misses += 1
+                    # Prefetch-covered is the common miss on this path (the
+                    # tree prefetches a node before probing it), so it is
+                    # inlined too; the L2-hit/full-fetch tail stays a call.
+                    completion = self._inflight.pop(line, None)
+                    if completion is None:
+                        self._touch_uncovered(line)
+                    else:
+                        del self._inflight_seq[line]
+                        stall = completion - self.now
+                        if stall > 0:
+                            self.now += stall
+                            stats.dcache_stall_cycles += stall
+                        stats.prefetch_covered += 1
+                        if l1_dm is not None:
+                            l1_dm[l1_index] = line
+                        else:
+                            # Lookup above just missed, so the line is absent.
+                            if len(l1_set) >= self._l1_assoc:
+                                for victim in l1_set:
+                                    break
+                                del l1_set[victim]
+                            l1_set[line] = None
+                        l2_dm = self._l2_dm
+                        if l2_dm is not None:
+                            l2_dm[line % self._l2_nsets] = line
+                        else:
+                            self.l2.insert(line)
+            else:
+                nlines = self.read_run(address, nbytes)
+        else:
+            nlines = 0
+        # Inline probe_penalty(): busy(compare) + other_stall(mispredict),
+        # with both costs precomputed at construction (CpuCostModel is
+        # frozen).  The clock advances through a local so ``self.now`` is
+        # touched once; the two additions stay separate, in the scalar
+        # path's order, so the float results are bit-identical.
+        now = self.now
+        compare = self._probe_busy
+        if compare > 0:
+            now = now + compare
+            stats.busy_cycles += compare
+        mispredict = self._probe_stall
+        if mispredict > 0:
+            now = now + mispredict
+            stats.other_stall_cycles += mispredict
+        self.now = now
+        return nlines
+
+    # -- prefetch (scalar path) ----------------------------------------------
 
     def prefetch(self, address: int, nbytes: int) -> None:
         """Issue non-blocking prefetches for every line in the range."""
@@ -186,36 +913,30 @@ class MemorySystem:
         self._reserve_miss_handler()
         if self.l2.contains(line):
             # Satisfied from L2 without using the memory bus.
-            self._inflight[line] = self.now + self.config.l2_hit_latency
+            self._post_fetch(line, self.now + self.config.l2_hit_latency)
             return
         start = max(self.now, self._bus_free)
         self._bus_free = start + self.config.bus_cycles_per_access
-        self._inflight[line] = start + self.config.memory_latency
+        self._post_fetch(line, start + self.config.memory_latency)
 
-    def _reserve_miss_handler(self) -> None:
-        """Stall until an MSHR is free, retiring landed prefetches."""
-        landed = [l for l, t in self._inflight.items() if t <= self.now]
-        for line in landed:
-            del self._inflight[line]
-            self._install(line)
-        while len(self._inflight) >= self.config.miss_handlers:
-            earliest_line = min(self._inflight, key=self._inflight.get)
-            completion = self._inflight.pop(earliest_line)
-            self._dcache_stall(completion - self.now)
-            self._install(earliest_line)
-
-    # -- control ------------------------------------------------------------------
+    # -- control -------------------------------------------------------------
 
     def clear_caches(self) -> None:
         """Flush both cache levels and any in-flight fetches."""
         self.l1.clear()
         self.l2.clear()
         self._inflight.clear()
+        self._inflight_seq.clear()
+        self._heap.clear()
+        self._pending.clear()
+        self._wake = _NEVER
         self._bus_free = self.now
 
     def reset(self) -> None:
-        """Clear caches, zero the clock and all statistics."""
+        """Clear caches, zero the clock, statistics, and cache counters."""
         self.clear_caches()
+        self.l1.reset_counters()
+        self.l2.reset_counters()
         self.now = 0.0
         self._bus_free = 0.0
         self.stats = MemoryStats()

@@ -12,9 +12,14 @@ from dataclasses import dataclass, field, fields
 __all__ = ["MemoryStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryStats:
-    """Mutable accumulator of cycles and event counts."""
+    """Mutable accumulator of cycles and event counts.
+
+    ``slots=True`` because one instance's counters are bumped on every
+    simulated access — attribute writes through ``__slots__`` skip the
+    per-instance dict and measurably speed up the trace engine's hot loop.
+    """
 
     busy_cycles: float = 0.0
     dcache_stall_cycles: float = 0.0

@@ -1,0 +1,173 @@
+"""Golden equivalence: batched trace engine == scalar path == frozen baseline.
+
+The batched entry points (``read_run``/``write_run``/``prefetch_run``/
+``probe_run``) are a pure performance rework — PR 4's contract is that they
+change *nothing* observable.  Three independent checks:
+
+1. The committed golden-trace fixture (``tests/data/mem_golden_trace.json``,
+   generated against the pre-batching engine) replays to field-identical
+   ``MemoryStats`` and clocks through all three paths: the frozen
+   :class:`~repro.mem.legacy.LegacyMemorySystem`, the current engine's
+   scalar methods, and the current engine's batched methods.
+2. A hypothesis property: any ``read_run`` decomposes into per-line scalar
+   reads (and likewise for the other composite ops) on the same engine.
+3. Random mixed-op streams, including cache flushes, agree across all three
+   paths under both the default and a stressed (tiny-cache, few-MSHR)
+   geometry.
+"""
+
+import json
+import random
+from dataclasses import fields
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree.trace import Tracer, replay_ops
+from repro.mem import CpuCostModel, MemoryConfig, MemorySystem
+from repro.mem.legacy import LegacyMemorySystem, ScalarTracer
+from repro.mem.stats import MemoryStats
+
+FIXTURE = Path(__file__).parent / "data" / "mem_golden_trace.json"
+
+STAT_FIELDS = [f.name for f in fields(MemoryStats) if f.name != "extra"]
+
+
+def fingerprint(mem) -> dict:
+    state = {name: getattr(mem.stats, name) for name in STAT_FIELDS}
+    state["now"] = mem.now
+    return state
+
+
+def load_cases():
+    with open(FIXTURE) as handle:
+        payload = json.load(handle)
+    return payload["cases"]
+
+
+CASES = load_cases()
+
+
+# -- 1. committed fixture, three paths ----------------------------------------
+
+
+@pytest.mark.parametrize("case", CASES, ids=[c["name"] for c in CASES])
+@pytest.mark.parametrize(
+    "make_tracer",
+    [
+        lambda cfg: ScalarTracer(LegacyMemorySystem(cfg, CpuCostModel())),
+        lambda cfg: ScalarTracer(MemorySystem(cfg, CpuCostModel())),
+        lambda cfg: Tracer(MemorySystem(cfg, CpuCostModel())),
+    ],
+    ids=["legacy-engine", "scalar-path", "batched-path"],
+)
+def test_golden_trace_replays_identically(case, make_tracer):
+    tracer = make_tracer(MemoryConfig(**case["config"]))
+    replay_ops([tuple(op) for op in case["ops"]], tracer)
+    assert fingerprint(tracer.mem) == case["expected"]
+
+
+def test_fixture_is_nontrivial():
+    """The fixture must actually exercise the interesting machinery."""
+    for case in CASES:
+        expected = case["expected"]
+        assert expected["memory_fetches"] > 0
+        assert expected["l1_hits"] > 0
+        assert expected["now"] > 0
+    assert any(c["expected"]["prefetch_covered"] > 0 for c in CASES)
+    assert any(c["expected"]["l2_hits"] > 0 for c in CASES)
+
+
+# -- 2. hypothesis: composite ops decompose into scalar ops --------------------
+
+fast = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+# Small address space so lines collide and hit every cache/MSHR path; the
+# stressed geometry keeps evictions and handler pressure frequent.
+STRESS_CONFIG = dict(l1_size=512, l1_assoc=2, l2_size=2048, l2_assoc=4, miss_handlers=4)
+
+_access = st.tuples(
+    st.sampled_from(["read", "write", "prefetch", "probe"]),
+    st.integers(0, 8192),
+    st.integers(1, 400),
+)
+
+
+@fast
+@given(ops=st.lists(_access, min_size=1, max_size=60))
+def test_batched_run_equals_scalar_expansion(ops):
+    scalar = MemorySystem(MemoryConfig(**STRESS_CONFIG), CpuCostModel())
+    batched = MemorySystem(MemoryConfig(**STRESS_CONFIG), CpuCostModel())
+    for kind, address, nbytes in ops:
+        if kind == "read":
+            scalar.read(address, nbytes)
+            batched.read_run(address, nbytes)
+        elif kind == "write":
+            scalar.write(address, nbytes)
+            batched.write_run(address, nbytes)
+        elif kind == "prefetch":
+            scalar.prefetch(address, nbytes)
+            batched.prefetch_run(address, nbytes)
+        else:
+            scalar.read(address, nbytes)
+            scalar.probe_penalty()
+            batched.probe_run(address, nbytes)
+        assert fingerprint(scalar) == fingerprint(batched)
+
+
+@fast
+@given(address=st.integers(0, 1 << 40), nbytes=st.integers(1, 2048))
+def test_read_run_equals_n_scalar_reads(address, nbytes):
+    """read_run(a, n) == one scalar read per touched line, in order."""
+    scalar = MemorySystem()
+    batched = MemorySystem()
+    batched.read_run(address, nbytes)
+    scalar.read(address, nbytes)
+    assert fingerprint(scalar) == fingerprint(batched)
+    line_size = scalar.config.line_size
+    nlines = (address + nbytes - 1) // line_size - address // line_size + 1
+    assert batched.stats.accesses == nlines
+
+
+# -- 3. random mixed streams across all three paths ----------------------------
+
+
+def _random_ops(rng, count):
+    ops = []
+    for __ in range(count):
+        roll = rng.random()
+        if roll < 0.35:
+            ops.append(("probe", rng.randrange(0, 16384), 4))
+        elif roll < 0.55:
+            ops.append(("read", rng.randrange(0, 16384), rng.choice((4, 8, 64, 256))))
+        elif roll < 0.70:
+            ops.append(("prefetch", rng.randrange(0, 16384), rng.choice((64, 512, 832))))
+        elif roll < 0.80:
+            ops.append(("write", rng.randrange(0, 16384), rng.choice((4, 64))))
+        elif roll < 0.90:
+            ops.append(("busy", float(rng.randrange(1, 20))))
+        elif roll < 0.97:
+            ops.append(("visit_node",))
+        else:
+            ops.append(("clear",))
+    return ops
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+@pytest.mark.parametrize(
+    "config_kwargs", [{}, STRESS_CONFIG], ids=["default-geometry", "stress-geometry"]
+)
+def test_random_streams_agree_across_engines(seed, config_kwargs):
+    ops = _random_ops(random.Random(seed), 800)
+    results = []
+    for make_tracer in (
+        lambda cfg: ScalarTracer(LegacyMemorySystem(cfg, CpuCostModel())),
+        lambda cfg: ScalarTracer(MemorySystem(cfg, CpuCostModel())),
+        lambda cfg: Tracer(MemorySystem(cfg, CpuCostModel())),
+    ):
+        tracer = make_tracer(MemoryConfig(**config_kwargs))
+        replay_ops(ops, tracer)
+        results.append(fingerprint(tracer.mem))
+    assert results[0] == results[1] == results[2]

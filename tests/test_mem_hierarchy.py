@@ -174,6 +174,23 @@ def test_reset_zeroes_everything():
     assert mem.stats.memory_fetches == 1
 
 
+def test_reset_zeroes_cache_hit_miss_counters():
+    """Regression: reset() used to leave l1/l2 hit/miss counters running,
+    so back-to-back measurement phases on one MemorySystem double-counted
+    in the per-cache counters while MemoryStats started fresh."""
+    mem = make_mem()
+    mem.read(0, 4)
+    mem.read(0, 4)  # l1 hit
+    assert mem.l1.misses == 1 and mem.l1.hits == 1
+    mem.reset()
+    assert mem.l1.hits == 0
+    assert mem.l1.misses == 0
+    assert mem.l2.hits == 0
+    assert mem.l2.misses == 0
+    mem.read(0, 4)
+    assert mem.l1.misses == 1  # counts this phase only
+
+
 def test_t1_tnext_properties():
     config = MemoryConfig()
     assert config.t1 == 150

@@ -1,0 +1,81 @@
+"""Determinism tests for the process-parallel benchmark orchestrator.
+
+The contract (see ``repro.bench.orchestrator``): for any experiment and any
+``jobs`` value, the merged :class:`FigureResult` is identical — same rows,
+same order, same notes — to running the figure function directly.
+"""
+
+import pytest
+
+from repro.bench.figures import ALL_EXPERIMENTS
+from repro.bench.orchestrator import (
+    PARALLEL_EXPERIMENTS,
+    plan_cells,
+    run_experiment,
+)
+
+# Small enough to run in seconds, big enough for multiple cells per axis.
+FIG10_SMALL = {"page_sizes": (4096, 8192), "sizes": (2_000,), "searches": 20}
+
+
+def result_payload(result):
+    return (result.columns, result.rows, result.notes)
+
+
+def test_plan_cells_splits_product_axes():
+    cells = plan_cells("fig10", FIG10_SMALL)
+    assert len(cells) == 2  # 2 page sizes x 1 size
+    assert [c["page_sizes"] for c in cells] == [(4096,), (8192,)]
+    assert all(c["sizes"] == (2_000,) for c in cells)
+    assert all(c["searches"] == 20 for c in cells)
+
+
+def test_plan_cells_orders_cells_like_the_nested_loops():
+    cells = plan_cells("fig10", {"page_sizes": (4, 8), "sizes": (10, 20)})
+    # page size is the outer loop in fig10 itself.
+    assert [(c["page_sizes"], c["sizes"]) for c in cells] == [
+        ((4,), (10,)),
+        ((4,), (20,)),
+        ((8,), (10,)),
+        ((8,), (20,)),
+    ]
+
+
+def test_unlisted_experiments_run_as_one_cell():
+    for name in ALL_EXPERIMENTS:
+        if name not in PARALLEL_EXPERIMENTS:
+            assert len(plan_cells(name)) == 1, name
+
+
+def test_rng_coupled_sweeps_are_not_split():
+    """fig13/fig14 panels share one workload whose RNG threads through
+    panels — splitting them would change which keys each panel draws."""
+    assert "fig13" not in PARALLEL_EXPERIMENTS
+    assert "fig14" not in PARALLEL_EXPERIMENTS
+
+
+def test_orchestrated_run_matches_direct_call():
+    direct = ALL_EXPERIMENTS["fig10"](**FIG10_SMALL)
+    orchestrated = run_experiment("fig10", FIG10_SMALL, jobs=1)
+    assert result_payload(orchestrated) == result_payload(direct)
+
+
+def test_jobs_2_is_identical_to_jobs_1():
+    serial = run_experiment("fig10", FIG10_SMALL, jobs=1)
+    parallel = run_experiment("fig10", FIG10_SMALL, jobs=2)
+    assert result_payload(parallel) == result_payload(serial)
+
+
+def test_single_cell_experiment_through_orchestrator():
+    overrides = {"num_keys": 2_000, "searches": 20, "nonleaf_sizes": (128,),
+                 "cache_first_sizes": (512,)}
+    direct = ALL_EXPERIMENTS["fig11"](**overrides)
+    orchestrated = run_experiment("fig11", overrides, jobs=4)  # still one cell
+    assert result_payload(orchestrated) == result_payload(direct)
+
+
+def test_unknown_experiment_and_bad_jobs_raise():
+    with pytest.raises(KeyError):
+        run_experiment("no-such-figure")
+    with pytest.raises(ValueError):
+        run_experiment("fig10", FIG10_SMALL, jobs=0)
