@@ -1,0 +1,130 @@
+"""Serving layer: the throughput/latency hockey-stick under open-loop load.
+
+Claims checked on the ``serve`` sweep (offered load rising past the
+disk-array service limit):
+
+(a) below the knee the server keeps up — zero shedding and completed
+    throughput within 10% of offered;
+(b) beyond the knee throughput *plateaus* at the service limit (the two
+    most-overloaded points differ by < 25% while offered load differs by
+    >= 1.5x) while p99 latency has risen by >= 2x over the unloaded
+    baseline — queueing, not service, dominates;
+(c) once the admission queue bound is hit the excess is shed
+    (shed count > 0 at the top load, and the overload rows stop accepting
+    more than the plateau);
+(d) accounting is conserved on every row (issued == completed + shed on a
+    drained run) and fixed-seed runs are bit-for-bit identical.
+
+Runs standalone too — ``python benchmarks/bench_serve.py --smoke`` does a
+scaled-down pass of the same assertions (the CI serve-smoke job), and
+``--out FILE`` writes a canonical JSON payload (rows + the smoke run's
+latency histogram) whose bytes double as the CI determinism gate.
+"""
+
+import json
+import sys
+
+from repro.bench.serving import serve_sweep
+from repro.dbms.engine import MiniDbms
+from repro.serve import DbmsServer, OpenLoopLoadGenerator
+from repro.workloads import OpMix
+
+SMOKE_SCALE = dict(
+    num_rows=6_000,
+    offered_loads=(200, 1200, 2400),
+    duration_s=0.5,
+)
+
+
+def check_claims(result):
+    """Assert the saturation-curve claims on a serve_sweep() FigureResult."""
+    rows = sorted(result.rows, key=lambda r: r["offered_ops_s"])
+    assert len(rows) >= 3, "need at least 3 offered loads to see a knee"
+    for row in rows:
+        # Drained open-loop run: every issued request completed or was shed.
+        assert row["issued"] == row["completed"] + row["shed"], row
+
+    low, second_top, top = rows[0], rows[-2], rows[-1]
+    # (a) under light load the server keeps up and sheds nothing.
+    assert low["shed"] == 0, low
+    assert low["throughput_ops_s"] >= 0.9 * low["offered_ops_s"], low
+
+    # (b) overload: throughput plateaus while p99 rises.
+    assert top["offered_ops_s"] >= 1.5 * second_top["offered_ops_s"]
+    plateau_ratio = top["throughput_ops_s"] / second_top["throughput_ops_s"]
+    assert 0.8 <= plateau_ratio <= 1.25, (second_top, top)
+    assert top["throughput_ops_s"] <= 0.8 * top["offered_ops_s"], top
+    assert top["p99_ms"] >= 2.0 * low["p99_ms"], (low, top)
+
+    # (c) the admission queue bound converts the excess into sheds.
+    assert top["shed"] > 0, top
+    assert top["shed"] > second_top["shed"] or second_top["shed"] > 0
+
+
+def smoke_histogram(seed: int = 11):
+    """One deterministic overloaded run; returns its latency histogram."""
+    scale = SMOKE_SCALE
+    db = MiniDbms(
+        num_rows=scale["num_rows"], num_disks=8, page_size=4096, seed=seed, mature=False
+    )
+    server = DbmsServer(
+        db, max_concurrency=16, queue_depth=48, pool_frames=64, seed=seed
+    )
+    generator = OpenLoopLoadGenerator(
+        server,
+        rate_ops_s=max(scale["offered_loads"]),
+        duration_s=scale["duration_s"],
+        mix=OpMix(),
+        seed=seed,
+    )
+    stats = generator.run()
+    assert stats.conserved()
+    return {
+        "summary": stats.snapshot(),
+        "latency_histogram_us": stats.latency_histogram("all").snapshot(),
+    }
+
+
+def payload(smoke: bool):
+    result = serve_sweep(**SMOKE_SCALE) if smoke else serve_sweep()
+    check_claims(result)
+    return result, {
+        "name": result.name,
+        "smoke": smoke,
+        "columns": list(result.columns),
+        "rows": result.rows,
+        "notes": result.notes,
+        "histogram_run": smoke_histogram(),
+    }
+
+
+def test_serve_sweep(benchmark):
+    from conftest import record
+
+    result = benchmark.pedantic(serve_sweep, kwargs=SMOKE_SCALE, rounds=1, iterations=1)
+    record(benchmark, result)
+    check_claims(result)
+    # Fixed seed => bit-for-bit reproducible rows.
+    assert serve_sweep(**SMOKE_SCALE).rows == result.rows
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    out_path = None
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+    result, data = payload(smoke)
+    print(result.format_table())
+    rerun_result, rerun_data = payload(smoke)
+    assert rerun_data == data, "serving run is not deterministic"
+    text = json.dumps(data, indent=2, sort_keys=True)
+    if out_path:
+        with open(out_path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out_path}")
+    print("all serving claims hold" + (" (smoke scale)" if smoke else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1028,6 +1028,7 @@ def traced_scan(
 
 
 from .multipage import ablation_multipage_nodes  # noqa: E402  (avoids a cycle)
+from .serving import serve_sweep  # noqa: E402  (avoids a cycle)
 
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -1051,4 +1052,5 @@ ALL_EXPERIMENTS = {
     "ablation-jpa-on-btree": ablation_jpa_on_standard_btree,
     "ablation-multipage-nodes": ablation_multipage_nodes,
     "traced-scan": traced_scan,
+    "serve": serve_sweep,
 }

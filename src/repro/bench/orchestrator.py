@@ -78,6 +78,9 @@ PARALLEL_EXPERIMENTS: dict[str, Callable[[dict], list[dict]]] = {
     "fig12": _product_planner("bulkload_factors"),
     "fig16": _product_planner("page_sizes"),
     "fig17": _product_planner("page_sizes"),
+    # Each offered-load cell builds its own MiniDbms + DbmsServer, so the
+    # serving saturation curve fans out one cell per offered load.
+    "serve": _product_planner("offered_loads"),
 }
 
 

@@ -386,6 +386,130 @@ class MiniDbms:
             return None
         return self.table.fetch(int(tid) - 1)  # tids are 1-based in workloads
 
+    # -- serving (reentrant ops over a shared substrate) -----------------------------
+    #
+    # Unlike :meth:`scan`, which builds a private environment and runs it to
+    # completion, the ``serve_*`` methods are process *generators*: any
+    # number of concurrent DES processes may run them against one shared
+    # :class:`~repro.storage.prefetch.AsyncPageReader` (one environment, one
+    # buffer pool, one disk array), which is what makes multi-client
+    # contention — coalesced reads, CLOCK evictions under pressure, spindle
+    # queueing — actually happen.  The serving layer
+    # (:mod:`repro.serve`) drives them.
+
+    def leaf_key_map(self) -> tuple[np.ndarray, list[int]]:
+        """(first keys, leaf page ids) in leaf order, for range planning.
+
+        Recompute after inserts: page splits add leaves.  The serving layer
+        caches this and invalidates on its write path.
+        """
+        from ..bench.io_scan import first_key_of_leaf_page  # late: avoids a cycle
+
+        pids = self.index.leaf_page_ids()
+        firsts = np.asarray(
+            [first_key_of_leaf_page(self.index, pid) for pid in pids], dtype=np.int64
+        )
+        return firsts, pids
+
+    def serve_lookup(self, reader, key: int, page_process_us: float = 150.0, owner=None):
+        """Process generator: point lookup through a shared serving substrate.
+
+        Demand-pages the root-to-leaf path and the heap page, charging
+        ``page_process_us`` of CPU per page visited, and pins the leaf (with
+        ``owner`` attribution) while it is being searched.  Returns the row
+        or ``None``.
+        """
+        env = reader.env
+        path = self.index.page_path(key)
+        for pid in path[:-1]:
+            yield from reader.demand(pid)
+            yield env.timeout(page_process_us)
+        yield from reader.demand(path[-1])
+        with reader.pool.pinned(path[-1], owner=owner):
+            yield env.timeout(page_process_us)
+            tid = self.index.search(key)
+        if tid is None:
+            return None
+        heap_pid, __ = self.table.tid_to_location(int(tid) - 1)
+        yield from reader.demand(heap_pid)
+        yield env.timeout(page_process_us)
+        return self.table.fetch(int(tid) - 1)
+
+    def serve_scan(
+        self,
+        reader,
+        start_key: int,
+        end_key: int,
+        page_process_us: float = 150.0,
+        leaf_map: Optional[tuple[np.ndarray, list[int]]] = None,
+        prefetch_depth: int = 4,
+        owner=None,
+    ):
+        """Process generator: inclusive range scan over the shared substrate.
+
+        Descends to the start leaf, then consumes the covering leaf pages in
+        key order, keeping ``prefetch_depth`` jump-pointer prefetches in
+        flight ahead of the consumption point.  Returns the number of
+        entries in the range.  A leaf freed by a concurrent split/merge is
+        skipped — its entries moved, they did not vanish.
+        """
+        env = reader.env
+        if leaf_map is None:
+            leaf_map = self.leaf_key_map()
+        firsts, pids = leaf_map
+        lo = max(int(np.searchsorted(firsts, start_key, side="right")) - 1, 0)
+        hi = max(int(np.searchsorted(firsts, end_key, side="right")) - 1, lo)
+        span_pids = pids[lo : hi + 1]
+        for pid in self.index.page_path(start_key)[:-1]:
+            yield from reader.demand(pid)
+            yield env.timeout(page_process_us)
+        issued = 0
+        for index, pid in enumerate(span_pids):
+            if prefetch_depth:
+                while issued < min(index + prefetch_depth, len(span_pids)):
+                    target = span_pids[issued]
+                    if target in self.store:
+                        reader.prefetch(target)
+                    issued += 1
+            if pid not in self.store:
+                continue
+            yield from reader.demand(pid)
+            with reader.pool.pinned(pid, owner=owner):
+                yield env.timeout(page_process_us)
+        return int(self.index.range_scan(int(start_key), int(end_key)).count)
+
+    def serve_insert(
+        self,
+        reader,
+        disks,
+        key: int,
+        k2: int = 0,
+        k3: int = 0,
+        page_process_us: float = 150.0,
+        owner=None,
+    ):
+        """Process generator: write-through insert on the shared substrate.
+
+        Demand-pages the target leaf, applies the insert (heap append +
+        index insert, instantaneous as in :meth:`insert`), then charges a
+        synchronous write-through of the leaf to the disk array — the
+        no-WAL durability model of the serving layer.  Returns the new tuple
+        id.
+        """
+        env = reader.env
+        path = self.index.page_path(key)
+        for pid in path[:-1]:
+            yield from reader.demand(pid)
+            yield env.timeout(page_process_us)
+        leaf_pid = path[-1]
+        yield from reader.demand(leaf_pid)
+        with reader.pool.pinned(leaf_pid, owner=owner):
+            yield env.timeout(page_process_us)
+            row = self.insert(key, k2, k3)
+        # Write-through: the mutated leaf goes straight back to its spindle.
+        yield disks.write_page(leaf_pid)
+        return row
+
     # -- the update path ------------------------------------------------------------
 
     def _txn(self):

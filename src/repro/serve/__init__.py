@@ -1,0 +1,38 @@
+"""Concurrent multi-client serving layer over the MiniDbms.
+
+The pieces, bottom-up:
+
+* :class:`~repro.serve.admission.AdmissionController` — token-based
+  concurrency limit with a bounded, shed-on-overflow wait queue (FIFO or
+  priority) and queue-time accounting.
+* :class:`~repro.serve.server.DbmsServer` — one shared DES substrate
+  (environment, disk array, buffer pool, page reader) executing client
+  lookups / range scans / inserts as concurrent processes, with per-query
+  deadlines.
+* :class:`~repro.serve.loadgen.OpenLoopLoadGenerator` /
+  :class:`~repro.serve.loadgen.ClosedLoopLoadGenerator` — seeded traffic.
+* :class:`~repro.serve.stats.ServerStats` — latency percentiles,
+  throughput, shed/timeout counts, and the conservation identity
+  ``issued == completed + shed + failed + in_flight``.
+
+Everything is DES-driven and seeded: a serving run is a pure function of
+its configuration, so latency percentiles are exactly reproducible.
+"""
+
+from .admission import AdmissionController, AdmissionRejected, AdmissionTicket
+from .loadgen import ClosedLoopLoadGenerator, OpenLoopLoadGenerator
+from .server import DbmsServer, ServedRequest
+from .stats import OP_KINDS, SERVE_LATENCY_BOUNDS_US, ServerStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "AdmissionTicket",
+    "ClosedLoopLoadGenerator",
+    "OpenLoopLoadGenerator",
+    "DbmsServer",
+    "ServedRequest",
+    "ServerStats",
+    "OP_KINDS",
+    "SERVE_LATENCY_BOUNDS_US",
+]

@@ -1,0 +1,245 @@
+"""The multi-client serving layer over :class:`~repro.dbms.MiniDbms`.
+
+:class:`DbmsServer` owns one shared serving substrate — a DES
+:class:`~repro.des.Environment`, a :class:`~repro.storage.disk.DiskArray`,
+a deliberately small :class:`~repro.storage.buffer.BufferPool` and one
+:class:`~repro.storage.prefetch.AsyncPageReader` — and executes client
+requests as concurrent DES processes against it.  Every request passes the
+:class:`~repro.serve.admission.AdmissionController` before touching
+storage, and every outcome lands in :class:`~repro.serve.stats.ServerStats`.
+
+The request life cycle::
+
+    submit() ── admission ──┬── shed (queue full)  -> outcome "shed"
+                            └── granted ── execute op ── release token
+                                   │                        │
+                                   └── deadline_us expired ─┴─> client sees
+                                       outcome "timeout"; the op still runs
+                                       to completion (the kernel has no
+                                       cancellation) and is counted in
+                                       ``completed`` with ``timed_out`` set
+
+so the conservation identity ``issued == completed + shed + failed +
+in_flight`` holds at every instant of simulated time.  Everything is
+seeded and DES-driven: two same-seed runs are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dbms.engine import MiniDbms
+from ..des import Environment, WaitTimeout, with_timeout
+from ..faults.errors import StorageFault
+from ..obs import MetricsRegistry, Observability
+from ..storage.buffer import BufferPool, BufferPoolExhausted
+from ..storage.config import StorageConfig
+from ..storage.disk import DiskArray
+from ..storage.prefetch import AsyncPageReader, RetryPolicy
+from ..workloads.ops import FreshKeys
+from .admission import AdmissionController, AdmissionRejected
+from .stats import ServerStats
+
+__all__ = ["DbmsServer", "ServedRequest"]
+
+
+@dataclass
+class ServedRequest:
+    """One client operation and its full serving history."""
+
+    rid: int
+    session: str
+    op: tuple
+    priority: int = 0
+    issued_at: float = 0.0
+    admitted_at: float = -1.0
+    finished_at: float = -1.0
+    #: "pending" -> "ok" | "shed" | "failed"; "timeout" means the *client*
+    #: gave up — the server still finishes the op and flips this to "ok"
+    #: (with ``timed_out`` kept) or "failed".
+    outcome: str = "pending"
+    timed_out: bool = False
+    rows: int = 0
+    queue_wait_us: float = 0.0
+    error: Optional[BaseException] = field(default=None, repr=False)
+
+    @property
+    def kind(self) -> str:
+        return self.op[0]
+
+    @property
+    def latency_us(self) -> float:
+        """Issue-to-completion latency (valid once finished)."""
+        return self.finished_at - self.issued_at
+
+
+class DbmsServer:
+    """Serves concurrent lookup/scan/insert traffic against one MiniDbms.
+
+    The buffer pool is sized by ``pool_frames`` (small relative to the
+    table, so concurrent clients genuinely contend for frames and
+    spindles); ``max_concurrency``/``queue_depth`` configure admission;
+    ``deadline_us`` arms a per-query client deadline.  ``admission_mode``
+    is ``"fifo"`` or ``"priority"`` (requests then carry a priority class).
+    """
+
+    def __init__(
+        self,
+        db: MiniDbms,
+        max_concurrency: int = 16,
+        queue_depth: int = 64,
+        pool_frames: int = 128,
+        page_process_us: float = 150.0,
+        deadline_us: Optional[float] = None,
+        admission_mode: str = "fifo",
+        scan_prefetch_depth: int = 4,
+        policy: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.db = db
+        self.env = Environment()
+        self.obs = obs if obs is not None else Observability(metrics=MetricsRegistry())
+        config = StorageConfig(
+            page_size=db.page_size,
+            num_disks=db.num_disks,
+            buffer_pool_pages=pool_frames,
+            disk=db.disk_params,
+        )
+        self.disks = DiskArray(self.env, config, obs=self.obs)
+        self.pool = BufferPool(config, db.store, obs=self.obs)
+        self.reader = AsyncPageReader(
+            self.env, self.disks, self.pool, policy=policy, seed=seed, obs=self.obs
+        )
+        self.admission = AdmissionController(
+            self.env,
+            max_concurrency=max_concurrency,
+            max_queue_depth=queue_depth,
+            mode=admission_mode,
+            metrics=self.obs.metrics,
+        )
+        self.stats = ServerStats(self.obs.metrics)
+        self.page_process_us = page_process_us
+        self.deadline_us = deadline_us
+        self.scan_prefetch_depth = scan_prefetch_depth
+        #: Fresh insert keys start one stride past the stored universe.
+        max_key = int(db._workload.keys[-1])
+        self.fresh_keys = FreshKeys(max_key + 2, stride=2)
+        self._leaf_map = None
+        self._next_rid = 0
+        self.requests: list[ServedRequest] = []
+
+    # -- request construction / submission ---------------------------------
+
+    def make_request(self, op: tuple, session: str = "client", priority: int = 0) -> ServedRequest:
+        request = ServedRequest(rid=self._next_rid, session=session, op=op, priority=priority)
+        self._next_rid += 1
+        return request
+
+    def submit(self, request: ServedRequest):
+        """Issue a request; returns the *client-side* process event.
+
+        The event fires when the client is done with the request: on
+        completion, on shed, or when the per-query deadline expires (the
+        server keeps working past a deadline; the client just stops
+        waiting).  The event's value is the request itself.
+        """
+        request.issued_at = self.env.now
+        self.stats.issue()
+        self.requests.append(request)
+        return self.env.process(self._client(request))
+
+    def _client(self, request: ServedRequest):
+        try:
+            ticket = yield from self.admission.admit(request.priority)
+        except AdmissionRejected as exc:
+            request.outcome = "shed"
+            request.error = exc
+            request.finished_at = self.env.now
+            self.stats.shed()
+            return request
+        request.admitted_at = self.env.now
+        request.queue_wait_us = ticket.queue_wait_us
+        worker = self.env.process(self._execute(request, ticket))
+        if self.deadline_us is None:
+            yield worker
+            return request
+        try:
+            yield with_timeout(
+                self.env, worker, self.deadline_us, detail=f"request {request.rid}"
+            )
+        except WaitTimeout:
+            # Client abandons; the worker keeps the token until it finishes.
+            request.timed_out = True
+            request.outcome = "timeout"
+            self.stats.timeout()
+        return request
+
+    def _execute(self, request: ServedRequest, ticket):
+        """Server-side worker: run the op, then release the service token."""
+        try:
+            rows = yield from self._dispatch(request)
+        except (StorageFault, WaitTimeout, BufferPoolExhausted) as exc:
+            request.outcome = "failed"
+            request.error = exc
+            request.finished_at = self.env.now
+            self.stats.fail(request.kind)
+            return request
+        finally:
+            self.admission.release(ticket)
+        request.rows = rows
+        request.outcome = "ok"
+        request.finished_at = self.env.now
+        self.stats.complete(request.kind, request.latency_us, rows)
+        return request
+
+    def _dispatch(self, request: ServedRequest):
+        kind = request.op[0]
+        owner = f"{request.session}#{request.rid}"
+        if kind == "lookup":
+            row = yield from self.db.serve_lookup(
+                self.reader, request.op[1],
+                page_process_us=self.page_process_us, owner=owner,
+            )
+            return 1 if row is not None else 0
+        if kind == "scan":
+            count = yield from self.db.serve_scan(
+                self.reader, request.op[1], request.op[2],
+                page_process_us=self.page_process_us,
+                leaf_map=self._cached_leaf_map(),
+                prefetch_depth=self.scan_prefetch_depth,
+                owner=owner,
+            )
+            return count
+        if kind == "insert":
+            key = request.op[1]
+            if key is None:
+                key = self.fresh_keys.take()
+            yield from self.db.serve_insert(
+                self.reader, self.disks, key,
+                page_process_us=self.page_process_us, owner=owner,
+            )
+            # The insert may have split a leaf: the cached range map is stale.
+            self._leaf_map = None
+            return 1
+        raise ValueError(f"unknown op kind {kind!r}")
+
+    def _cached_leaf_map(self):
+        if self._leaf_map is None:
+            self._leaf_map = self.db.leaf_key_map()
+        return self._leaf_map
+
+    # -- reporting ---------------------------------------------------------
+
+    def utilization(self) -> list[float]:
+        """Per-disk busy fraction over the run so far."""
+        return self.disks.utilization()
+
+    def mean_utilization(self) -> float:
+        util = self.utilization()
+        return sum(util) / len(util) if util else 0.0
+
+    def run(self, until=None):
+        """Advance the simulation (thin wrapper over ``env.run``)."""
+        return self.env.run(until=until)

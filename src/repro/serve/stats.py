@@ -1,0 +1,177 @@
+"""Per-operation serving statistics: latency percentiles, throughput, sheds.
+
+:class:`ServerStats` is the accounting plane of the serving layer.  It
+keeps, in one (shared) :class:`~repro.obs.MetricsRegistry`:
+
+* ``serve.issued`` / ``serve.completed`` / ``serve.shed`` /
+  ``serve.failed`` counters plus a ``serve.in_flight`` gauge, related by
+  the conservation invariant ``issued == completed + shed + failed +
+  in_flight`` at every instant of simulated time;
+* ``serve.timeouts``: client-abandoned operations (the per-query deadline
+  expired while the server was still working; the operation still runs to
+  completion and is counted in ``completed``, so timeouts never break the
+  conservation identity);
+* per-op-kind latency histograms (``serve.latency_us.lookup`` etc.) on a
+  fine geometric grid, so p50/p95/p99/p999 are meaningful, plus a
+  combined ``serve.latency_us.all``.
+
+Latency is issue-to-completion (queue wait included).  Everything is a
+pure function of the DES execution, so two same-seed runs snapshot
+byte-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..obs import Histogram, MetricsRegistry
+
+__all__ = ["ServerStats", "OP_KINDS", "SERVE_LATENCY_BOUNDS_US"]
+
+#: The operation kinds the serving layer executes.
+OP_KINDS: tuple[str, ...] = ("lookup", "scan", "insert")
+
+#: Latency histogram bounds: 100 us .. ~57 s, factor-1.25 geometric spacing
+#: (60 buckets) — fine enough that bucket-upper-bound quantiles are within
+#: 25% of the true order statistic.
+SERVE_LATENCY_BOUNDS_US: tuple[float, ...] = tuple(
+    round(100.0 * 1.25**i, 6) for i in range(60)
+)
+
+#: The quantiles the serving layer reports, by conventional name.
+PERCENTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+    ("p999", 0.999),
+)
+
+
+class ServerStats:
+    """Counters, gauges and latency histograms for one serving run."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._issued = self.metrics.counter("serve.issued")
+        self._completed = self.metrics.counter("serve.completed")
+        self._shed = self.metrics.counter("serve.shed")
+        self._failed = self.metrics.counter("serve.failed")
+        self._timeouts = self.metrics.counter("serve.timeouts")
+        self._in_flight = self.metrics.gauge("serve.in_flight")
+        self._rows = self.metrics.counter("serve.rows_returned")
+        self._latency: dict[str, Histogram] = {
+            kind: self.metrics.histogram(
+                f"serve.latency_us.{kind}", bounds=SERVE_LATENCY_BOUNDS_US
+            )
+            for kind in OP_KINDS
+        }
+        self._latency_all = self.metrics.histogram(
+            "serve.latency_us.all", bounds=SERVE_LATENCY_BOUNDS_US
+        )
+
+    # -- recording (called by the server) ----------------------------------
+
+    def issue(self) -> None:
+        self._issued.inc()
+        self._in_flight.inc()
+
+    def shed(self) -> None:
+        self._shed.inc()
+        self._in_flight.inc(-1)
+
+    def timeout(self) -> None:
+        """The client abandoned the op; the server is still running it."""
+        self._timeouts.inc()
+
+    def complete(self, kind: str, latency_us: float, rows: int = 0) -> None:
+        self._completed.inc()
+        self._in_flight.inc(-1)
+        self._rows.inc(rows)
+        hist = self._latency.get(kind)
+        if hist is not None:
+            hist.record(latency_us)
+        self._latency_all.record(latency_us)
+
+    def fail(self, kind: str) -> None:
+        self._failed.inc()
+        self._in_flight.inc(-1)
+
+    # -- reading -----------------------------------------------------------
+
+    @property
+    def issued(self) -> int:
+        return int(self._issued.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def shed_count(self) -> int:
+        return int(self._shed.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._timeouts.value)
+
+    @property
+    def in_flight(self) -> int:
+        return int(self._in_flight.value)
+
+    @property
+    def rows_returned(self) -> int:
+        return int(self._rows.value)
+
+    def conserved(self) -> bool:
+        """The conservation identity every instant must satisfy."""
+        return self.issued == self.completed + self.shed_count + self.failed + self.in_flight
+
+    def latency_histogram(self, kind: str = "all") -> Histogram:
+        if kind == "all":
+            return self._latency_all
+        return self._latency[kind]
+
+    def percentiles_us(self, kind: str = "all") -> dict[str, float]:
+        """p50/p95/p99/p999 of a kind's issue-to-completion latency."""
+        hist = self.latency_histogram(kind)
+        return {name: hist.quantile(q) for name, q in PERCENTILES}
+
+    def throughput_ops_s(self, elapsed_us: float) -> float:
+        """Completed operations per simulated second."""
+        return self.completed / (elapsed_us / 1e6) if elapsed_us > 0 else 0.0
+
+    def queue_wait_histogram(self) -> Optional[Histogram]:
+        metric = self.metrics.get("admission.queue_wait_us")
+        return metric if isinstance(metric, Histogram) else None
+
+    def snapshot(self) -> dict:
+        """Deterministic summary dict (JSON-safe, sorted keys downstream)."""
+        out: dict = {
+            "issued": self.issued,
+            "completed": self.completed,
+            "shed": self.shed_count,
+            "failed": self.failed,
+            "timeouts": self.timeouts,
+            "in_flight": self.in_flight,
+            "rows_returned": self.rows_returned,
+            "latency_us": {
+                kind: {
+                    **self.percentiles_us(kind),
+                    "count": self.latency_histogram(kind).count,
+                    "mean": round(self.latency_histogram(kind).mean, 3),
+                }
+                for kind in (*OP_KINDS, "all")
+            },
+        }
+        wait = self.queue_wait_histogram()
+        if wait is not None:
+            out["queue_wait_us"] = {
+                "count": wait.count,
+                "mean": round(wait.mean, 3),
+                "p99": wait.quantile(0.99),
+            }
+        return out

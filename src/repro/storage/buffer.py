@@ -32,14 +32,31 @@ class BufferPoolExhausted(RuntimeError):
     """Every frame is pinned; no victim exists.
 
     Carries pin diagnostics so the caller can see *who* is holding the pool
-    hostage instead of guessing from a bare "exhausted" message.
+    hostage instead of guessing from a bare "exhausted" message:
+    ``pinned_pages`` maps page id -> pin count, and ``pin_holders`` maps
+    page id -> the owner labels passed to :meth:`BufferPool.pinned` (the
+    serving layer passes its DES session/request names here, so a
+    serving-time pool deadlock names the sessions holding the pins).
     """
 
-    def __init__(self, frames: int, pinned_pages: dict[int, int]) -> None:
+    def __init__(
+        self,
+        frames: int,
+        pinned_pages: dict[int, int],
+        pin_holders: Optional[dict[int, tuple]] = None,
+    ) -> None:
         self.frames = frames
         self.pinned_pages = dict(pinned_pages)
+        self.pin_holders = {pid: tuple(owners) for pid, owners in (pin_holders or {}).items()}
+
+        def describe(pid: int, count: int) -> str:
+            owners = self.pin_holders.get(pid)
+            if owners:
+                return f"page {pid} (pins={count}, held by {', '.join(map(str, owners))})"
+            return f"page {pid} (pins={count})"
+
         preview = ", ".join(
-            f"page {pid} (pins={count})" for pid, count in list(pinned_pages.items())[:8]
+            describe(pid, count) for pid, count in list(pinned_pages.items())[:8]
         )
         if len(pinned_pages) > 8:
             preview += f", ... {len(pinned_pages) - 8} more"
@@ -88,6 +105,10 @@ class BufferPool:
         self._frame_page: list[int] = [-1] * frames
         self._ref_bit = bytearray(frames)
         self._pin_count: list[int] = [0] * frames
+        #: Per-frame owner labels of live pins (parallel to ``_pin_count``);
+        #: populated only for pins that pass ``owner=``, so the common
+        #: anonymous path costs nothing but an empty list.
+        self._pin_owners: list[list[Any]] = [[] for __ in range(frames)]
         #: Per-frame occupancy generation, bumped whenever a frame changes
         #: (or loses) its page.  Lets :meth:`pinned` tell "the same page is
         #: back in the same frame" apart from "my pin is still the holder".
@@ -246,17 +267,31 @@ class BufferPool:
             for frame in range(frames)
             if self._pin_count[frame] > 0 or self._frame_page[frame] in self._no_steal
         }
-        raise BufferPoolExhausted(frames, pinned)
+        holders = {
+            self._frame_page[frame]: tuple(self._pin_owners[frame])
+            for frame in range(frames)
+            if self._pin_owners[frame]
+        }
+        raise BufferPoolExhausted(frames, pinned, holders)
 
     # -- pinning -------------------------------------------------------------
 
     @contextmanager
-    def pinned(self, page_id: int) -> Iterator[Any]:
-        """Keep a page resident for the duration of a block."""
+    def pinned(self, page_id: int, owner: Any = None) -> Iterator[Any]:
+        """Keep a page resident for the duration of a block.
+
+        ``owner`` (optional) labels the pin for diagnostics: if the pool is
+        later exhausted while this pin is live, the
+        :class:`BufferPoolExhausted` error names it in ``pin_holders`` —
+        the serving layer passes its session/request ids here so pool
+        deadlocks under concurrency are attributable.
+        """
         page, __ = self.access(page_id)
         frame = self._page_frame[page_id]
         generation = self._frame_gen[frame]
         self._pin_count[frame] += 1
+        if owner is not None:
+            self._pin_owners[frame].append(owner)
         try:
             yield page
         finally:
@@ -273,6 +308,8 @@ class BufferPool:
                 and self._pin_count[frame] > 0
             ):
                 self._pin_count[frame] -= 1
+                if owner is not None and owner in self._pin_owners[frame]:
+                    self._pin_owners[frame].remove(owner)
 
     # -- dirty tracking ----------------------------------------------------------
 
@@ -316,6 +353,7 @@ class BufferPool:
             self._frame_page[frame] = -1
             self._ref_bit[frame] = 0
             self._pin_count[frame] = 0
+            self._pin_owners[frame].clear()
             self._frame_gen[frame] += 1
             self._residency.set(len(self._page_frame))
         self._dirty.discard(page_id)
@@ -327,6 +365,7 @@ class BufferPool:
             self._frame_page[frame] = -1
             self._ref_bit[frame] = 0
             self._pin_count[frame] = 0
+            self._pin_owners[frame].clear()
             self._frame_gen[frame] += 1
         self._page_frame.clear()
         self._residency.set(0)

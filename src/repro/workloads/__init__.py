@@ -1,5 +1,6 @@
 """Reproducible workload generators."""
 
 from .generator import KeyWorkload, build_mature_tree
+from .ops import FreshKeys, MixedOpStream, OpMix
 
-__all__ = ["KeyWorkload", "build_mature_tree"]
+__all__ = ["KeyWorkload", "build_mature_tree", "FreshKeys", "MixedOpStream", "OpMix"]

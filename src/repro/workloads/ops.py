@@ -1,0 +1,114 @@
+"""Mixed-operation request streams for the serving layer.
+
+A :class:`MixedOpStream` turns a :class:`~repro.workloads.generator.KeyWorkload`
+key universe into an endless, seeded sequence of server operations — point
+lookups, range scans and inserts in a configurable :class:`OpMix` — one
+stream per client session, so every session draws an independent but
+reproducible request sequence.
+
+Insert keys are *not* drawn here: concurrent sessions would collide on
+them.  A stream emits ``("insert", None)`` and the server materializes a
+fresh key from its shared :class:`FreshKeys` allocator at execution time,
+which keeps the key sequence a pure function of the (deterministic) DES
+execution order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["OpMix", "MixedOpStream", "FreshKeys"]
+
+
+@dataclass(frozen=True)
+class OpMix:
+    """Relative weights of the three served operation kinds.
+
+    Weights need not sum to one; they are normalized.  ``scan_span`` is the
+    number of stored entries each range scan covers.
+    """
+
+    lookup: float = 0.70
+    scan: float = 0.20
+    insert: float = 0.10
+    scan_span: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("lookup", "scan", "insert"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} weight must be >= 0, got {getattr(self, name)}")
+        if self.lookup + self.scan + self.insert <= 0:
+            raise ValueError("at least one op weight must be positive")
+        if self.scan_span < 1:
+            raise ValueError(f"scan_span must be >= 1, got {self.scan_span}")
+
+    def cumulative(self) -> tuple[float, float]:
+        """(P[lookup], P[lookup or scan]) — the draw thresholds."""
+        total = self.lookup + self.scan + self.insert
+        return self.lookup / total, (self.lookup + self.scan) / total
+
+
+class FreshKeys:
+    """Shared allocator of never-before-seen insert keys.
+
+    Hands out ``start, start + stride, ...``; with ``stride >= 2`` and
+    ``start`` past the existing key universe (whose gaps are >= 2), no
+    allocated key ever collides with a stored or future key.
+    """
+
+    def __init__(self, start: int, stride: int = 2) -> None:
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self._next = int(start)
+        self._stride = int(stride)
+        self.taken = 0
+
+    def take(self) -> int:
+        key = self._next
+        self._next += self._stride
+        self.taken += 1
+        return key
+
+
+class MixedOpStream:
+    """Seeded, endless stream of server operations over a key universe.
+
+    ``next_op()`` returns one of::
+
+        ("lookup", key)            # an existing key
+        ("scan", start_key, end_key)   # covers ~scan_span stored entries
+        ("insert", None)           # key assigned by the server's FreshKeys
+
+    Two streams with the same ``(keys, mix, seed)`` produce identical
+    sequences; distinct seeds give independent sequences.
+    """
+
+    def __init__(self, keys: np.ndarray, mix: Optional[OpMix] = None, seed: int = 0) -> None:
+        self.keys = np.asarray(keys)
+        if self.keys.size == 0:
+            raise ValueError("op stream needs a non-empty key universe")
+        self.mix = mix if mix is not None else OpMix()
+        if self.mix.scan_span > self.keys.size:
+            raise ValueError(
+                f"scan_span {self.mix.scan_span} exceeds the {self.keys.size}-key universe"
+            )
+        self._rng = random.Random((seed << 12) ^ 0x0B5E55ED)
+        self._lookup_below, self._scan_below = self.mix.cumulative()
+
+    def next_op(self) -> tuple:
+        draw = self._rng.random()
+        if draw < self._lookup_below:
+            index = self._rng.randrange(self.keys.size)
+            return ("lookup", int(self.keys[index]))
+        if draw < self._scan_below:
+            start = self._rng.randrange(self.keys.size - self.mix.scan_span + 1)
+            return (
+                "scan",
+                int(self.keys[start]),
+                int(self.keys[start + self.mix.scan_span - 1]),
+            )
+        return ("insert", None)

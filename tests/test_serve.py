@@ -1,0 +1,269 @@
+"""Tests for the serving layer: admission, conservation, determinism, stats."""
+
+import pytest
+
+from repro.dbms.engine import MiniDbms
+from repro.des import Environment
+from repro.serve import (
+    AdmissionController,
+    AdmissionRejected,
+    ClosedLoopLoadGenerator,
+    DbmsServer,
+    OpenLoopLoadGenerator,
+)
+from repro.serve.stats import SERVE_LATENCY_BOUNDS_US, ServerStats
+from repro.storage.buffer import BufferPool, BufferPoolExhausted
+from repro.storage.config import StorageConfig
+from repro.workloads import OpMix
+
+
+def small_db(num_rows=2_000, seed=7):
+    return MiniDbms(num_rows=num_rows, num_disks=4, page_size=4096, seed=seed, mature=False)
+
+
+# -- admission control -----------------------------------------------------
+
+
+def holder(env, admission, name, order, hold_us=100.0, delay_us=0.0, priority=0):
+    if delay_us:
+        yield env.timeout(delay_us)
+    try:
+        ticket = yield from admission.admit(priority)
+    except AdmissionRejected:
+        order.append((name, "shed"))
+        return
+    order.append((name, "in"))
+    yield env.timeout(hold_us)
+    admission.release(ticket)
+
+
+def test_admission_fifo_grant_order():
+    env = Environment()
+    admission = AdmissionController(env, max_concurrency=1, max_queue_depth=16)
+    order = []
+    # a takes the token at t=0; b,c,d queue in arrival order and must be
+    # granted in exactly that order as the token is recycled.
+    for i, name in enumerate("abcd"):
+        env.process(holder(env, admission, name, order, hold_us=100.0, delay_us=i * 10.0))
+    env.run()
+    assert order == [("a", "in"), ("b", "in"), ("c", "in"), ("d", "in")]
+    assert admission.admitted_count == 4
+    assert admission.shed_count == 0
+    assert admission.in_service == 0 and admission.queue_depth == 0
+
+
+def test_admission_priority_grant_order():
+    env = Environment()
+    admission = AdmissionController(env, max_concurrency=1, max_queue_depth=16, mode="priority")
+    order = []
+    env.process(holder(env, admission, "first", order, hold_us=100.0))
+    # All three wait while "first" holds the token; the lowest priority
+    # value must win regardless of arrival order (10, 30, 20 us).
+    env.process(holder(env, admission, "p5", order, delay_us=10.0, priority=5))
+    env.process(holder(env, admission, "p1", order, delay_us=30.0, priority=1))
+    env.process(holder(env, admission, "p3", order, delay_us=20.0, priority=3))
+    env.run()
+    assert [name for name, __ in order] == ["first", "p1", "p3", "p5"]
+
+
+def test_admission_sheds_past_queue_bound():
+    env = Environment()
+    admission = AdmissionController(env, max_concurrency=1, max_queue_depth=2)
+    order = []
+    # One in service + two queued = at the bound; the 4th and 5th shed.
+    for i, name in enumerate("abcde"):
+        env.process(
+            holder(env, admission, name, order, hold_us=1000.0, delay_us=i * 1.0)
+        )
+    env.run()
+    assert order[:3] == [("a", "in"), ("d", "shed"), ("e", "shed")]
+    assert admission.shed_count == 2
+    assert admission.admitted_count == 3
+
+
+def test_admission_queue_wait_accounting():
+    env = Environment()
+    admission = AdmissionController(env, max_concurrency=1, max_queue_depth=4)
+    waits = {}
+
+    def client(name, delay_us):
+        yield env.timeout(delay_us)
+        ticket = yield from admission.admit()
+        waits[name] = ticket.queue_wait_us
+        yield env.timeout(100.0)
+        admission.release(ticket)
+
+    env.process(client("a", 0.0))
+    env.process(client("b", 40.0))
+    env.run()
+    # a is granted instantly; b arrives at t=40 and waits until a's release
+    # at t=100.
+    assert waits["a"] == 0.0
+    assert waits["b"] == pytest.approx(60.0)
+
+
+# -- latency histogram percentiles ----------------------------------------
+
+
+def test_latency_percentiles_match_hand_computed_distribution():
+    stats = ServerStats()
+    # One sample exactly on each of the first ten bucket bounds: with 10
+    # samples, quantile(q) is the upper bound of the bucket holding rank
+    # ceil(10q), i.e. bounds[ceil(10q) - 1].
+    for bound in SERVE_LATENCY_BOUNDS_US[:10]:
+        stats.complete("lookup", bound)
+    got = stats.percentiles_us("lookup")
+    assert got["p50"] == SERVE_LATENCY_BOUNDS_US[4]
+    assert got["p95"] == SERVE_LATENCY_BOUNDS_US[9]
+    assert got["p99"] == SERVE_LATENCY_BOUNDS_US[9]
+    assert got["p999"] == SERVE_LATENCY_BOUNDS_US[9]
+
+
+def test_latency_percentiles_skewed_distribution():
+    stats = ServerStats()
+    # 90 fast ops in the first bucket, 10 slow ones in the eleventh: the
+    # median sits in the fast bucket, the tail percentiles in the slow one.
+    for __ in range(90):
+        stats.complete("scan", SERVE_LATENCY_BOUNDS_US[0])
+    for __ in range(10):
+        stats.complete("scan", SERVE_LATENCY_BOUNDS_US[10])
+    got = stats.percentiles_us("scan")
+    assert got["p50"] == SERVE_LATENCY_BOUNDS_US[0]
+    assert got["p95"] == SERVE_LATENCY_BOUNDS_US[10]
+    assert got["p99"] == SERVE_LATENCY_BOUNDS_US[10]
+    # The combined histogram saw the same 100 samples.
+    assert stats.latency_histogram("all").count == 100
+    assert stats.percentiles_us("all") == got
+
+
+# -- conservation ----------------------------------------------------------
+
+
+def test_closed_loop_conservation_and_totals():
+    db = small_db()
+    server = DbmsServer(db, max_concurrency=4, queue_depth=8, pool_frames=32, seed=3)
+    generator = ClosedLoopLoadGenerator(
+        server, clients=6, ops_per_client=5, think_time_us=2_000.0, seed=3
+    )
+    stats = generator.run()
+    assert stats.issued == 6 * 5
+    assert stats.in_flight == 0
+    assert stats.conserved()
+    assert stats.issued == stats.completed + stats.shed_count + stats.failed
+    # Closed loop with 6 clients over 4 tokens + depth-8 queue never sheds.
+    assert stats.shed_count == 0 and stats.failed == 0
+    assert all(request.outcome == "ok" for request in server.requests)
+
+
+def test_open_loop_conservation_holds_mid_run():
+    db = small_db()
+    server = DbmsServer(db, max_concurrency=2, queue_depth=16, pool_frames=32, seed=5)
+    generator = OpenLoopLoadGenerator(server, rate_ops_s=2_000, duration_s=0.2, seed=5)
+    generator.start()
+    # Freeze mid-traffic: requests must be genuinely in flight and the
+    # identity must hold at that instant, not just after the drain.
+    server.env.run(until=50_000.0)
+    assert server.stats.in_flight > 0
+    assert server.stats.conserved()
+    server.env.run()
+    assert server.stats.in_flight == 0
+    assert server.stats.conserved()
+    assert server.stats.issued == generator.issued
+
+
+def test_deadline_timeouts_do_not_break_conservation():
+    db = small_db()
+    server = DbmsServer(
+        db, max_concurrency=2, queue_depth=32, pool_frames=32,
+        deadline_us=4_000.0, seed=9,
+    )
+    generator = OpenLoopLoadGenerator(server, rate_ops_s=1_500, duration_s=0.2, seed=9)
+    stats = generator.run()
+    assert stats.timeouts > 0
+    assert stats.conserved() and stats.in_flight == 0
+    timed_out = [request for request in server.requests if request.timed_out]
+    assert len(timed_out) == stats.timeouts
+    # The server finishes abandoned ops: they are counted as completed.
+    assert all(request.outcome in ("ok", "timeout") for request in timed_out)
+
+
+def test_open_loop_sheds_under_overload():
+    db = small_db()
+    server = DbmsServer(db, max_concurrency=2, queue_depth=4, pool_frames=32, seed=1)
+    generator = OpenLoopLoadGenerator(server, rate_ops_s=4_000, duration_s=0.2, seed=1)
+    stats = generator.run()
+    assert stats.shed_count > 0
+    assert stats.conserved()
+    shed = [request for request in server.requests if request.outcome == "shed"]
+    assert len(shed) == stats.shed_count
+    assert all(isinstance(request.error, AdmissionRejected) for request in shed)
+
+
+# -- determinism -----------------------------------------------------------
+
+
+def run_once(seed):
+    db = small_db(seed=11)
+    server = DbmsServer(db, max_concurrency=4, queue_depth=8, pool_frames=32, seed=seed)
+    generator = OpenLoopLoadGenerator(server, rate_ops_s=1_200, duration_s=0.25, seed=seed)
+    stats = generator.run()
+    outcomes = [
+        (request.rid, request.kind, request.outcome, request.latency_us)
+        for request in server.requests
+    ]
+    return stats.snapshot(), outcomes
+
+
+def test_same_seed_runs_are_identical():
+    assert run_once(4) == run_once(4)
+
+
+def test_different_seeds_diverge():
+    assert run_once(4)[1] != run_once(5)[1]
+
+
+# -- serving ops touch real data ------------------------------------------
+
+
+def test_served_ops_return_real_rows():
+    db = small_db()
+    server = DbmsServer(db, max_concurrency=4, queue_depth=8, pool_frames=32)
+    keys = db._workload.keys
+    lookup = server.make_request(("lookup", int(keys[10])))
+    scan = server.make_request(("scan", int(keys[0]), int(keys[40])))
+    fresh = int(keys[-1]) + 2  # past the stored universe, as FreshKeys would pick
+    insert = server.make_request(("insert", fresh))
+    for request in (lookup, scan, insert):
+        server.submit(request)
+    server.run()
+    assert lookup.outcome == "ok" and lookup.rows == 1
+    assert scan.outcome == "ok" and scan.rows == 41
+    assert insert.outcome == "ok" and insert.rows == 1
+    # The freshly inserted key is immediately visible to a new lookup.
+    check = server.make_request(("lookup", fresh))
+    server.submit(check)
+    server.run()
+    assert check.outcome == "ok" and check.rows == 1
+
+
+# -- buffer pool exhaustion diagnostics ------------------------------------
+
+
+def test_buffer_pool_exhausted_names_pin_holders():
+    db = small_db()
+    config = StorageConfig(
+        page_size=db.page_size, num_disks=db.num_disks,
+        buffer_pool_pages=2, disk=db.disk_params,
+    )
+    pool = BufferPool(config, db.store)
+    __, pids = db.leaf_key_map()
+    with pool.pinned(int(pids[0]), owner="session-a#1"):
+        with pool.pinned(int(pids[1]), owner="session-b#2"):
+            with pytest.raises(BufferPoolExhausted) as excinfo:
+                pool.access(int(pids[2]))
+    exc = excinfo.value
+    assert exc.pin_holders[int(pids[0])] == ("session-a#1",)
+    assert exc.pin_holders[int(pids[1])] == ("session-b#2",)
+    assert "session-a#1" in str(exc) and "session-b#2" in str(exc)
+    # Both pins released: the access now succeeds.
+    pool.access(int(pids[2]))
