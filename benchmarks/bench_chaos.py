@@ -1,0 +1,107 @@
+"""Chaos serving: client-side resilience pays for itself under a fault storm.
+
+Claims checked on the ``chaos`` sweep (same seeded fault schedule —
+array-wide corruption, a limping disk, a dead disk, a mid-run crash —
+served to a bare client fleet and to a resilient one):
+
+(a) both modes survive the storm with accounting conserved, the crash
+    actually fired (crashes >= 1), and zero acknowledged inserts were
+    lost across WAL recovery;
+(b) the resilient mode completes strictly more operations *and* delivers
+    strictly higher goodput than the baseline under the identical
+    schedule — retries rescue transient failures the bare clients abandon;
+(c) the resilience machinery demonstrably engaged: client retries > 0,
+    the breaker tripped at least once and closed again (>= 3 transitions),
+    and the brownout ladder stepped down at least one rung;
+(d) fixed-seed runs are bit-for-bit identical, crash and all.
+
+Runs standalone too — ``python benchmarks/bench_chaos.py --smoke`` does a
+scaled-down pass of the same assertions (the CI chaos-smoke job), and
+``--out FILE`` writes a canonical JSON payload whose bytes double as the
+CI determinism gate.
+"""
+
+import json
+import sys
+
+from repro.bench.chaos import chaos_sweep
+
+SMOKE_SCALE = dict(
+    num_rows=3_000,
+    sessions=4,
+    ops_per_session=15,
+    schedule_text=(
+        "corrupt rate=0.25; limp disk=2 x8 @0.03s; kill disk=0 @0.1s; crash wal=8"
+    ),
+)
+
+
+def check_claims(result):
+    """Assert the resilience claims on a chaos_sweep() FigureResult."""
+    rows = {row["mode"]: row for row in result.rows}
+    assert set(rows) == {"baseline", "resilient"}, sorted(rows)
+    base, res = rows["baseline"], rows["resilient"]
+
+    # (a) both modes survive: conservation holds, the crash fired, and no
+    # acknowledged insert was lost across recovery.
+    for row in (base, res):
+        assert row["conserved"] == 1, row
+        assert row["crashes"] >= 1, row
+        assert row["lost_inserts"] == 0, row
+
+    # (b) resilience wins on completed work and on goodput.
+    assert res["ok_ops"] > base["ok_ops"], (base["ok_ops"], res["ok_ops"])
+    assert res["goodput_ops_s"] > base["goodput_ops_s"], (
+        base["goodput_ops_s"], res["goodput_ops_s"],
+    )
+
+    # (c) the machinery actually engaged.
+    assert base["retries"] == 0 and base["fast_fails"] == 0, base
+    assert res["retries"] > 0, res
+    assert res["breaker_trips"] >= 1, res
+    assert res["fast_fails"] > 0, res
+    assert res["brownout_level"] >= 1, res
+
+
+def payload(smoke: bool):
+    result = chaos_sweep(**SMOKE_SCALE) if smoke else chaos_sweep()
+    check_claims(result)
+    return result, {
+        "name": result.name,
+        "smoke": smoke,
+        "columns": list(result.columns),
+        "rows": result.rows,
+        "notes": result.notes,
+    }
+
+
+def test_chaos_sweep(benchmark):
+    from conftest import record
+
+    result = benchmark.pedantic(chaos_sweep, kwargs=SMOKE_SCALE, rounds=1, iterations=1)
+    record(benchmark, result)
+    check_claims(result)
+    # Fixed seed => bit-for-bit reproducible rows, crash and all.
+    assert chaos_sweep(**SMOKE_SCALE).rows == result.rows
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    out_path = None
+    if "--out" in argv:
+        out_path = argv[argv.index("--out") + 1]
+    result, data = payload(smoke)
+    print(result.format_table())
+    rerun_result, rerun_data = payload(smoke)
+    assert rerun_data == data, "chaos run is not deterministic"
+    text = json.dumps(data, indent=2, sort_keys=True)
+    if out_path:
+        with open(out_path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out_path}")
+    print("all chaos claims hold" + (" (smoke scale)" if smoke else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

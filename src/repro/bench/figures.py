@@ -1027,6 +1027,7 @@ def traced_scan(
     return result
 
 
+from .chaos import chaos_sweep  # noqa: E402  (avoids a cycle)
 from .multipage import ablation_multipage_nodes  # noqa: E402  (avoids a cycle)
 from .serving import serve_sweep  # noqa: E402  (avoids a cycle)
 
@@ -1053,4 +1054,5 @@ ALL_EXPERIMENTS = {
     "ablation-multipage-nodes": ablation_multipage_nodes,
     "traced-scan": traced_scan,
     "serve": serve_sweep,
+    "chaos": chaos_sweep,
 }

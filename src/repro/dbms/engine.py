@@ -443,6 +443,7 @@ class MiniDbms:
         page_process_us: float = 150.0,
         leaf_map: Optional[tuple[np.ndarray, list[int]]] = None,
         prefetch_depth: int = 4,
+        max_pages: Optional[int] = None,
         owner=None,
     ):
         """Process generator: inclusive range scan over the shared substrate.
@@ -452,6 +453,10 @@ class MiniDbms:
         flight ahead of the consumption point.  Returns the number of
         entries in the range.  A leaf freed by a concurrent split/merge is
         skipped — its entries moved, they did not vanish.
+
+        ``max_pages`` (the brownout ladder's truncation knob) caps the leaf
+        pages visited: a truncated scan returns partial results — the entry
+        count of the leaves actually read — instead of the full range.
         """
         env = reader.env
         if leaf_map is None:
@@ -460,6 +465,9 @@ class MiniDbms:
         lo = max(int(np.searchsorted(firsts, start_key, side="right")) - 1, 0)
         hi = max(int(np.searchsorted(firsts, end_key, side="right")) - 1, lo)
         span_pids = pids[lo : hi + 1]
+        truncated = max_pages is not None and len(span_pids) > max_pages
+        if truncated:
+            span_pids = span_pids[:max_pages]
         for pid in self.index.page_path(start_key)[:-1]:
             yield from reader.demand(pid)
             yield env.timeout(page_process_us)
@@ -476,6 +484,10 @@ class MiniDbms:
             yield from reader.demand(pid)
             with reader.pool.pinned(pid, owner=owner):
                 yield env.timeout(page_process_us)
+        if truncated:
+            return int(
+                sum(self._entries_in_leaf_page(pid) for pid in span_pids if pid in self.store)
+            )
         return int(self.index.range_scan(int(start_key), int(end_key)).count)
 
     def serve_insert(
@@ -492,9 +504,11 @@ class MiniDbms:
 
         Demand-pages the target leaf, applies the insert (heap append +
         index insert, instantaneous as in :meth:`insert`), then charges a
-        synchronous write-through of the leaf to the disk array — the
-        no-WAL durability model of the serving layer.  Returns the new tuple
-        id.
+        synchronous write-through of the leaf to the disk array.  With
+        logging enabled (:meth:`enable_wal`) the insert commits through the
+        WAL first and the commit's log-device time is charged on the
+        serving clock, so WAL durability latency shows up in serving
+        percentiles.  Returns the new tuple id.
         """
         env = reader.env
         path = self.index.page_path(key)
@@ -506,6 +520,8 @@ class MiniDbms:
         with reader.pool.pinned(leaf_pid, owner=owner):
             yield env.timeout(page_process_us)
             row = self.insert(key, k2, k3)
+        if self.wal is not None and self.wal.last_commit_write_us > 0:
+            yield env.timeout(self.wal.last_commit_write_us)
         # Write-through: the mutated leaf goes straight back to its spindle.
         yield disks.write_page(leaf_pid)
         return row

@@ -88,6 +88,21 @@ class Resource:
             self._users.add(nxt)
             nxt.succeed()
 
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the resource (e.g. a brownout shrinking a token pool).
+
+        Growing grants queued waiters immediately; shrinking never preempts
+        current holders — the pool drains down to the new capacity as they
+        release.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
 
 class PriorityResource(Resource):
     """A resource whose waiters are granted by priority, not arrival order.
@@ -131,6 +146,16 @@ class PriorityResource(Resource):
             heapq.heapify(self._heap)
             return
         if self._heap and len(self._users) < self.capacity:
+            __, __, nxt = heapq.heappop(self._heap)
+            self._users.add(nxt)
+            nxt.succeed()
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the resource; growth grants the best queued waiters."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        while self._heap and len(self._users) < self.capacity:
             __, __, nxt = heapq.heappop(self._heap)
             self._users.add(nxt)
             nxt.succeed()

@@ -17,8 +17,11 @@ from .errors import (
 )
 from .injector import CrashInjector, FaultDecision, FaultInjector, ReadOutcome, WriteOutcome
 from .plan import DiskFaultProfile, FaultPlan
+from .schedule import ChaosEvent, ChaosSchedule
 
 __all__ = [
+    "ChaosEvent",
+    "ChaosSchedule",
     "DiskFaultProfile",
     "FaultPlan",
     "FaultDecision",

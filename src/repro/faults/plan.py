@@ -13,8 +13,8 @@ storage layer's unit).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Optional
+from dataclasses import dataclass, field, replace
+from typing import ClassVar, Mapping, Optional
 
 __all__ = ["DiskFaultProfile", "FaultPlan"]
 
@@ -135,14 +135,47 @@ class FaultPlan:
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be >= 1 (counts are 1-based), got {value}")
 
+    #: The four write-path crash-point fields, in declaration order.
+    CRASH_POINT_FIELDS: ClassVar[tuple[str, ...]] = (
+        "crash_after_wal_appends",
+        "torn_wal_append",
+        "crash_after_page_writes",
+        "torn_page_write",
+    )
+
     def profile(self, disk_id: int) -> DiskFaultProfile:
         """Fault profile in effect for ``disk_id``."""
         return self.disks.get(disk_id, self.default)
 
     @property
+    def has_crash_points(self) -> bool:
+        """True if any write-path crash point is armed."""
+        return any(getattr(self, name) is not None for name in self.CRASH_POINT_FIELDS)
+
+    @property
     def is_clean(self) -> bool:
-        """True if no disk can ever see a fault under this plan."""
-        return self.default.is_clean and all(p.is_clean for p in self.disks.values())
+        """True if no fault can ever fire under this plan.
+
+        Covers both the read path (per-disk profiles) and the write path
+        (WAL / page-write crash points) — a crash-only plan is *not* clean,
+        so callers keying injector wiring off this flag arm the write path.
+        """
+        return (
+            self.default.is_clean
+            and all(p.is_clean for p in self.disks.values())
+            and not self.has_crash_points
+        )
+
+    def without_crash_points(self) -> "FaultPlan":
+        """A copy with every crash point disarmed (read faults kept).
+
+        Crash points are one-shot per injector; after a crash has fired and
+        recovery has run, logging resumes under this stripped plan so the
+        same count cannot crash the machine again.
+        """
+        return replace(
+            self, **{name: None for name in self.CRASH_POINT_FIELDS}
+        )
 
     # -- common scenarios ----------------------------------------------------
 

@@ -1,0 +1,209 @@
+"""Time-phased chaos schedules that compile to :class:`FaultPlan`\\ s.
+
+A :class:`ChaosSchedule` is the operator-facing layer above the declarative
+fault plan: a list of *events on a timeline* ("disk 2 limps 10x from t=2s,
+disk 0 dies at t=5s, the machine crashes at WAL append #400") rather than
+per-disk probability knobs.  Schedules are written either programmatically
+(:meth:`ChaosSchedule.add`) or in a one-line text grammar:
+
+    limp disk=2 x10 @2s; kill disk=0 @5s; crash wal=400
+
+Clauses are ``;``-separated.  Each clause is a verb plus arguments:
+
+``limp disk=D xF [@T]``
+    Disk ``D``'s service times are multiplied by ``F`` from time ``T``
+    (default: from the start) onward.
+``kill disk=D @T``
+    Disk ``D`` fails permanently at time ``T``.
+``corrupt rate=R [disk=D]`` / ``timeout rate=R [disk=D]``
+    Per-read corruption / transient-timeout probability, for one disk or
+    (without ``disk=``) as the array-wide default.
+``crash wal=N`` / ``crash page=N``
+    The machine dies immediately after the Nth WAL append / Nth durable
+    page write (1-based counts over the run).
+``torn wal=N`` / ``torn page=N``
+    The Nth WAL append / page write is torn mid-write, then the machine
+    dies — recovery must detect and repair the half-written tail.
+
+Times accept ``us``, ``ms`` and ``s`` suffixes (bare numbers are
+microseconds, the storage layer's unit).  ``to_fault_plan()`` compiles the
+schedule into a single seeded :class:`FaultPlan` covering both the read
+path (limp/kill/corrupt/timeout) and the write path (crash/torn points),
+so the whole scenario replays deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .plan import DiskFaultProfile, FaultPlan
+
+__all__ = ["ChaosEvent", "ChaosSchedule"]
+
+#: Clause verbs and the FaultPlan crash-point field each maps to.
+_CRASH_VERBS = {
+    ("crash", "wal"): "crash_after_wal_appends",
+    ("crash", "page"): "crash_after_page_writes",
+    ("torn", "wal"): "torn_wal_append",
+    ("torn", "page"): "torn_page_write",
+}
+
+_TIME_UNITS_US = {"us": 1.0, "ms": 1e3, "s": 1e6}
+
+
+def _parse_time_us(text: str, clause: str) -> float:
+    for suffix, scale in sorted(_TIME_UNITS_US.items(), key=lambda kv: -len(kv[0])):
+        if text.endswith(suffix):
+            return float(text[: -len(suffix)]) * scale
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(f"bad time {text!r} in chaos clause {clause!r}") from None
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: what goes wrong, where, and when."""
+
+    kind: str  # "limp" | "kill" | "corrupt" | "timeout" | a crash-point field
+    disk: Optional[int] = None
+    at_us: float = 0.0
+    factor: float = 1.0
+    rate: float = 0.0
+    count: Optional[int] = None
+
+    def describe(self) -> str:
+        where = f"disk {self.disk}" if self.disk is not None else "all disks"
+        if self.kind == "limp":
+            return f"{where} limps x{self.factor:g} from t={self.at_us:g}us"
+        if self.kind == "kill":
+            return f"{where} dies at t={self.at_us:g}us"
+        if self.kind in ("corrupt", "timeout"):
+            return f"{where}: {self.kind} rate {self.rate:g}"
+        return f"{self.kind.replace('_', ' ')} #{self.count}"
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An ordered set of chaos events plus the seed that replays them."""
+
+    events: tuple[ChaosEvent, ...] = ()
+    seed: int = 0
+
+    # -- construction --------------------------------------------------------
+
+    def add(self, event: ChaosEvent) -> "ChaosSchedule":
+        return replace(self, events=(*self.events, event))
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "ChaosSchedule":
+        """Build a schedule from the one-line clause grammar (see module doc)."""
+        events: list[ChaosEvent] = []
+        for raw in text.split(";"):
+            clause = raw.strip()
+            if not clause:
+                continue
+            events.append(cls._parse_clause(clause))
+        # An empty schedule is legal: it compiles to a clean FaultPlan, the
+        # natural control arm for a chaos experiment.
+        return cls(events=tuple(events), seed=seed)
+
+    @staticmethod
+    def _parse_clause(clause: str) -> ChaosEvent:
+        tokens = clause.split()
+        verb, args = tokens[0], tokens[1:]
+        fields: dict = {}
+        for token in args:
+            if token.startswith("@"):
+                fields["at_us"] = _parse_time_us(token[1:], clause)
+            elif token.startswith("x"):
+                fields["factor"] = float(token[1:])
+            elif "=" in token:
+                key, value = token.split("=", 1)
+                fields[key] = value
+            else:
+                raise ValueError(f"bad token {token!r} in chaos clause {clause!r}")
+        if verb == "limp":
+            if "disk" not in fields or "factor" not in fields:
+                raise ValueError(f"limp needs disk=D and xF: {clause!r}")
+            return ChaosEvent(
+                "limp", disk=int(fields["disk"]),
+                factor=fields["factor"], at_us=fields.get("at_us", 0.0),
+            )
+        if verb == "kill":
+            if "disk" not in fields or "at_us" not in fields:
+                raise ValueError(f"kill needs disk=D and @T: {clause!r}")
+            return ChaosEvent("kill", disk=int(fields["disk"]), at_us=fields["at_us"])
+        if verb in ("corrupt", "timeout"):
+            if "rate" not in fields:
+                raise ValueError(f"{verb} needs rate=R: {clause!r}")
+            disk = int(fields["disk"]) if "disk" in fields else None
+            return ChaosEvent(verb, disk=disk, rate=float(fields["rate"]))
+        if verb in ("crash", "torn"):
+            targets = [target for target in ("wal", "page") if target in fields]
+            if len(targets) != 1:
+                raise ValueError(f"{verb} needs exactly one of wal=N or page=N: {clause!r}")
+            (target,) = targets
+            return ChaosEvent(_CRASH_VERBS[(verb, target)], count=int(fields[target]))
+        raise ValueError(f"unknown chaos verb {verb!r} in clause {clause!r}")
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def has_crash_points(self) -> bool:
+        return any(event.kind in _CRASH_VERBS.values() for event in self.events)
+
+    def describe(self) -> str:
+        return "; ".join(event.describe() for event in self.events)
+
+    # -- compilation ---------------------------------------------------------
+
+    def to_fault_plan(self) -> FaultPlan:
+        """Compile to one seeded :class:`FaultPlan`.
+
+        Per-disk events merge into that disk's profile; rate events without
+        a disk set the array-wide default.  Because ``FaultPlan.default``
+        only applies to disks *without* an entry, every per-disk profile is
+        seeded from the array-wide rates first (a per-disk rate clause then
+        overrides them for that disk).  Conflicting settings (two limp
+        clauses for the same disk, two ``crash wal`` clauses) raise — a
+        schedule must be unambiguous to be replayable.
+        """
+        default: dict = {}
+        per_disk: dict[int, dict] = {}
+        crash_points: dict[str, int] = {}
+
+        def merge(target: dict, key: str, value, clause: str) -> None:
+            if key in target and target[key] != value:
+                raise ValueError(f"conflicting chaos settings for {clause}")
+            target[key] = value
+
+        for event in self.events:
+            if event.kind == "limp":
+                profile = per_disk.setdefault(event.disk, {})
+                merge(profile, "limp_factor", event.factor, f"limp disk={event.disk}")
+                merge(profile, "limp_after_us", event.at_us, f"limp disk={event.disk}")
+            elif event.kind == "kill":
+                profile = per_disk.setdefault(event.disk, {})
+                merge(profile, "fail_at_us", event.at_us, f"kill disk={event.disk}")
+            elif event.kind in ("corrupt", "timeout"):
+                key = f"{event.kind}_rate"
+                if event.disk is None:
+                    merge(default, key, event.rate, event.kind)
+                else:
+                    profile = per_disk.setdefault(event.disk, {})
+                    merge(profile, key, event.rate, f"{event.kind} disk={event.disk}")
+            else:  # a crash-point field name
+                merge(crash_points, event.kind, event.count, event.kind)
+        # Seed per-disk profiles with the array-wide rates: a disk with its
+        # own entry would otherwise silently escape the default profile.
+        disks = {}
+        for disk, profile in per_disk.items():
+            disks[disk] = DiskFaultProfile(**{**default, **profile})
+        return FaultPlan(
+            seed=self.seed,
+            default=DiskFaultProfile(**default),
+            disks=disks,
+            **crash_points,
+        )

@@ -14,20 +14,41 @@ The pieces, bottom-up:
 * :class:`~repro.serve.stats.ServerStats` — latency percentiles,
   throughput, shed/timeout counts, and the conservation identity
   ``issued == completed + shed + failed + in_flight``.
+* :mod:`~repro.serve.resilience` — client-side retries with backoff, a
+  per-server circuit breaker, the brownout degradation ladder, and the
+  :class:`~repro.serve.resilience.ChaosRunner` crash-under-load harness.
 
 Everything is DES-driven and seeded: a serving run is a pure function of
-its configuration, so latency percentiles are exactly reproducible.
+its configuration, so latency percentiles are exactly reproducible — even
+through injected faults and a mid-run crash.
 """
 
 from .admission import AdmissionController, AdmissionRejected, AdmissionTicket
 from .loadgen import ClosedLoopLoadGenerator, OpenLoopLoadGenerator
-from .server import DbmsServer, ServedRequest
+from .resilience import (
+    BreakerConfig,
+    BreakerState,
+    BrownoutConfig,
+    BrownoutController,
+    ChaosRunner,
+    CircuitBreaker,
+    ClientRetryPolicy,
+)
+from .server import BrownoutRejected, DbmsServer, ServedRequest
 from .stats import OP_KINDS, SERVE_LATENCY_BOUNDS_US, ServerStats
 
 __all__ = [
     "AdmissionController",
     "AdmissionRejected",
     "AdmissionTicket",
+    "BreakerConfig",
+    "BreakerState",
+    "BrownoutConfig",
+    "BrownoutController",
+    "BrownoutRejected",
+    "ChaosRunner",
+    "CircuitBreaker",
+    "ClientRetryPolicy",
     "ClosedLoopLoadGenerator",
     "OpenLoopLoadGenerator",
     "DbmsServer",

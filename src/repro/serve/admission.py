@@ -89,7 +89,12 @@ class AdmissionController:
             self._resource: Resource = PriorityResource(env, capacity=max_concurrency)
         else:
             self._resource = Resource(env, capacity=max_concurrency)
+        #: The configured pool size; :meth:`resize` moves ``max_concurrency``
+        #: while this stays the brownout ladder's step-up target.
+        self.base_concurrency = max_concurrency
         metrics = metrics if metrics is not None else MetricsRegistry()
+        self._capacity_gauge = metrics.gauge("admission.capacity")
+        self._capacity_gauge.set(max_concurrency)
         self._admitted = metrics.counter("admission.admitted")
         self._shed = metrics.counter("admission.shed")
         self._queued = metrics.counter("admission.queued")
@@ -153,5 +158,20 @@ class AdmissionController:
     def release(self, ticket: AdmissionTicket) -> None:
         """Return a ticket's token, waking the best waiter (if any)."""
         self._resource.release(ticket.grant)
+        self._in_service_gauge.set(self._resource.count)
+        self._depth_gauge.set(self._resource.queue_length)
+
+    def resize(self, max_concurrency: int) -> None:
+        """Change the token-pool size in place (the brownout ladder's knob).
+
+        Shrinking never revokes granted tokens — the pool drains down as
+        operations finish; growing admits queued waiters immediately.  The
+        shed bound keeps using the same ``max_queue_depth``.
+        """
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        self.max_concurrency = max_concurrency
+        self._resource.set_capacity(max_concurrency)
+        self._capacity_gauge.set(max_concurrency)
         self._in_service_gauge.set(self._resource.count)
         self._depth_gauge.set(self._resource.queue_length)

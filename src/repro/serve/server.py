@@ -31,7 +31,9 @@ from typing import Optional
 
 from ..dbms.engine import MiniDbms
 from ..des import Environment, WaitTimeout, with_timeout
-from ..faults.errors import StorageFault
+from ..faults.errors import SimulatedCrash, StorageFault
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultPlan
 from ..obs import MetricsRegistry, Observability
 from ..storage.buffer import BufferPool, BufferPoolExhausted
 from ..storage.config import StorageConfig
@@ -41,7 +43,15 @@ from ..workloads.ops import FreshKeys
 from .admission import AdmissionController, AdmissionRejected
 from .stats import ServerStats
 
-__all__ = ["DbmsServer", "ServedRequest"]
+__all__ = ["BrownoutRejected", "DbmsServer", "ServedRequest"]
+
+
+class BrownoutRejected(RuntimeError):
+    """An insert shed at submission because the brownout ladder says so."""
+
+    def __init__(self, level: int) -> None:
+        super().__init__(f"insert rejected: brownout ladder at level {level}")
+        self.level = level
 
 
 @dataclass
@@ -95,40 +105,67 @@ class DbmsServer:
         admission_mode: str = "fifo",
         scan_prefetch_depth: int = 4,
         policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        mirrored: bool = False,
         seed: int = 0,
         obs: Optional[Observability] = None,
     ) -> None:
         self.db = db
-        self.env = Environment()
         self.obs = obs if obs is not None else Observability(metrics=MetricsRegistry())
-        config = StorageConfig(
+        self._config = StorageConfig(
             page_size=db.page_size,
             num_disks=db.num_disks,
             buffer_pool_pages=pool_frames,
             disk=db.disk_params,
         )
-        self.disks = DiskArray(self.env, config, obs=self.obs)
-        self.pool = BufferPool(config, db.store, obs=self.obs)
-        self.reader = AsyncPageReader(
-            self.env, self.disks, self.pool, policy=policy, seed=seed, obs=self.obs
-        )
-        self.admission = AdmissionController(
-            self.env,
-            max_concurrency=max_concurrency,
-            max_queue_depth=queue_depth,
-            mode=admission_mode,
-            metrics=self.obs.metrics,
-        )
+        self.fault_plan = fault_plan
+        self.mirrored = mirrored
+        #: One injector for the server's lifetime: its per-disk RNG streams
+        #: and time-phased profiles carry across a crash-rebuild, so a disk
+        #: dead before the crash stays dead after recovery.
+        self.injector = FaultInjector(fault_plan) if fault_plan is not None else None
+        self._max_concurrency = max_concurrency
+        self._queue_depth = queue_depth
+        self._admission_mode = admission_mode
+        self._policy = policy
+        self._seed = seed
         self.stats = ServerStats(self.obs.metrics)
         self.page_process_us = page_process_us
         self.deadline_us = deadline_us
         self.scan_prefetch_depth = scan_prefetch_depth
+        #: The configured depth; the brownout ladder shrinks
+        #: ``scan_prefetch_depth`` and steps back up to this.
+        self.base_scan_prefetch_depth = scan_prefetch_depth
+        #: Brownout knobs (driven by a BrownoutController, if attached).
+        self.max_scan_pages: Optional[int] = None
+        self.reject_inserts = False
         #: Fresh insert keys start one stride past the stored universe.
         max_key = int(db._workload.keys[-1])
         self.fresh_keys = FreshKeys(max_key + 2, stride=2)
-        self._leaf_map = None
         self._next_rid = 0
         self.requests: list[ServedRequest] = []
+        self._build_substrate(initial_time=0.0)
+
+    def _build_substrate(self, initial_time: float) -> None:
+        """(Re)create the DES environment and everything bound to it."""
+        self.env = Environment(initial_time=initial_time)
+        self.disks = DiskArray(
+            self.env, self._config, injector=self.injector,
+            mirrored=self.mirrored, obs=self.obs,
+        )
+        self.pool = BufferPool(self._config, self.db.store, obs=self.obs)
+        self.reader = AsyncPageReader(
+            self.env, self.disks, self.pool,
+            policy=self._policy, seed=self._seed, obs=self.obs,
+        )
+        self.admission = AdmissionController(
+            self.env,
+            max_concurrency=self._max_concurrency,
+            max_queue_depth=self._queue_depth,
+            mode=self._admission_mode,
+            metrics=self.obs.metrics,
+        )
+        self._leaf_map = None
 
     # -- request construction / submission ---------------------------------
 
@@ -151,6 +188,15 @@ class DbmsServer:
         return self.env.process(self._client(request))
 
     def _client(self, request: ServedRequest):
+        if self.reject_inserts and request.kind == "insert":
+            # Brownout ladder level >= 3: background inserts are shed
+            # before admission so foreground reads keep the tokens.
+            request.outcome = "shed"
+            request.error = BrownoutRejected(self.stats.brownout_level)
+            request.finished_at = self.env.now
+            self.stats.shed()
+            self.stats.brownout_rejection()
+            return request
         try:
             ticket = yield from self.admission.admit(request.priority)
         except AdmissionRejected as exc:
@@ -178,16 +224,39 @@ class DbmsServer:
 
     def _execute(self, request: ServedRequest, ticket):
         """Server-side worker: run the op, then release the service token."""
+        # Bind the controller that issued the ticket: if a crash rebuilds
+        # the substrate while this worker is in flight, its generator is
+        # torn down later (GeneratorExit) and must not release a stale
+        # ticket against the *new* controller.
+        admission = self.admission
         try:
             rows = yield from self._dispatch(request)
+        except SimulatedCrash:
+            # The whole machine died mid-op, not just this request: let the
+            # crash propagate out of the simulation so the crash handler
+            # (see fail_unfinished / rebuild_substrate) accounts for every
+            # in-flight request at once.  SimulatedCrash subclasses
+            # StorageFault, so without this re-raise the crash would be
+            # silently absorbed as one failed request.
+            raise
         except (StorageFault, WaitTimeout, BufferPoolExhausted) as exc:
             request.outcome = "failed"
             request.error = exc
             request.finished_at = self.env.now
             self.stats.fail(request.kind)
             return request
+        except Exception as exc:
+            # Catch-all: an unexpected error (an unknown op kind, an engine
+            # bug) must still land the request in "failed", or it stays
+            # "pending" forever and the conservation identity breaks.
+            request.outcome = "failed"
+            request.error = exc
+            request.finished_at = self.env.now
+            self.stats.fail(request.kind)
+            return request
         finally:
-            self.admission.release(ticket)
+            if admission is self.admission:
+                admission.release(ticket)
         request.rows = rows
         request.outcome = "ok"
         request.finished_at = self.env.now
@@ -209,13 +278,17 @@ class DbmsServer:
                 page_process_us=self.page_process_us,
                 leaf_map=self._cached_leaf_map(),
                 prefetch_depth=self.scan_prefetch_depth,
+                max_pages=self.max_scan_pages,
                 owner=owner,
             )
             return count
         if kind == "insert":
             key = request.op[1]
             if key is None:
+                # Materialize the key into the request so clients can track
+                # which acknowledged inserts must survive a crash.
                 key = self.fresh_keys.take()
+                request.op = ("insert", key)
             yield from self.db.serve_insert(
                 self.reader, self.disks, key,
                 page_process_us=self.page_process_us, owner=owner,
@@ -229,6 +302,39 @@ class DbmsServer:
         if self._leaf_map is None:
             self._leaf_map = self.db.leaf_key_map()
         return self._leaf_map
+
+    # -- crash handling ----------------------------------------------------
+
+    def fail_unfinished(self, error: BaseException) -> int:
+        """Drain every non-terminal request as failed; returns the count.
+
+        Called by the crash handler the moment a :class:`SimulatedCrash`
+        propagates out of the simulation: pending requests (including ones
+        whose client already timed out but whose worker was still running)
+        get a terminal "failed" outcome so the conservation identity holds
+        across the substrate rebuild.
+        """
+        drained = 0
+        for request in self.requests:
+            if request.finished_at >= 0:
+                continue  # ok / shed / failed: already terminal
+            request.outcome = "failed"
+            request.error = error
+            request.finished_at = self.env.now
+            self.stats.fail(request.kind)
+            drained += 1
+        return drained
+
+    def rebuild_substrate(self, resume_at: Optional[float] = None) -> None:
+        """Stand the server back up after a crash.
+
+        The new DES environment starts at ``resume_at`` (default: the
+        crash instant) so the serving clock stays monotonic — latencies,
+        time-phased fault profiles and stats all keep making sense.  The
+        fault injector, stats and metrics registry survive the rebuild;
+        the disk array, buffer pool, reader and admission queue are fresh.
+        """
+        self._build_substrate(initial_time=self.env.now if resume_at is None else resume_at)
 
     # -- reporting ---------------------------------------------------------
 

@@ -68,6 +68,22 @@ class ServerStats:
         self._latency_all = self.metrics.histogram(
             "serve.latency_us.all", bounds=SERVE_LATENCY_BOUNDS_US
         )
+        # Resilience plane: client retries, circuit breaker, brownout, crashes.
+        self._client_retries = self.metrics.counter("serve.client_retries")
+        self._breaker_fast_fails = self.metrics.counter("serve.breaker.fast_fails")
+        self._breaker_transitions = self.metrics.counter("serve.breaker.transitions")
+        self._breaker_state = self.metrics.gauge("serve.breaker.state")
+        self._brownout_level = self.metrics.gauge("serve.brownout.level")
+        self._brownout_steps_down = self.metrics.counter("serve.brownout.steps_down")
+        self._brownout_steps_up = self.metrics.counter("serve.brownout.steps_up")
+        self._brownout_rejected = self.metrics.counter("serve.brownout.rejected")
+        self._crashes = self.metrics.counter("serve.crashes")
+        self._recoveries = self.metrics.counter("serve.recoveries")
+        #: Outcome listeners (the brownout SLO monitor registers here): each
+        #: is called as ``listener(kind, latency_us, ok)`` on every terminal
+        #: server-side outcome — completions with their latency, failures
+        #: with ``latency_us=None``.
+        self.listeners: list = []
 
     # -- recording (called by the server) ----------------------------------
 
@@ -91,10 +107,48 @@ class ServerStats:
         if hist is not None:
             hist.record(latency_us)
         self._latency_all.record(latency_us)
+        for listener in self.listeners:
+            listener(kind, latency_us, True)
 
     def fail(self, kind: str) -> None:
         self._failed.inc()
         self._in_flight.inc(-1)
+        for listener in self.listeners:
+            listener(kind, None, False)
+
+    # -- recording (resilience plane) --------------------------------------
+
+    def client_retry(self) -> None:
+        """A client re-submitted a failed/shed/timed-out operation."""
+        self._client_retries.inc()
+
+    def breaker_fast_fail(self) -> None:
+        """An open circuit breaker rejected an op before it was issued."""
+        self._breaker_fast_fails.inc()
+
+    def breaker_transition(self, state_code: int) -> None:
+        """The breaker changed state (0 closed, 1 open, 2 half-open)."""
+        self._breaker_transitions.inc()
+        self._breaker_state.set(state_code)
+
+    def brownout_step(self, level: int, down: bool) -> None:
+        """The degradation ladder moved to ``level`` (down = degrading)."""
+        (self._brownout_steps_down if down else self._brownout_steps_up).inc()
+        self._brownout_level.set(level)
+
+    def brownout_rejection(self) -> None:
+        """A background op was rejected by the degradation ladder.
+
+        The op is also recorded through :meth:`shed`, which keeps the
+        conservation identity; this counter just attributes the shed.
+        """
+        self._brownout_rejected.inc()
+
+    def crash(self) -> None:
+        self._crashes.inc()
+
+    def recovery(self) -> None:
+        self._recoveries.inc()
 
     # -- reading -----------------------------------------------------------
 
@@ -125,6 +179,42 @@ class ServerStats:
     @property
     def rows_returned(self) -> int:
         return int(self._rows.value)
+
+    @property
+    def client_retries(self) -> int:
+        return int(self._client_retries.value)
+
+    @property
+    def breaker_fast_fails(self) -> int:
+        return int(self._breaker_fast_fails.value)
+
+    @property
+    def breaker_transitions(self) -> int:
+        return int(self._breaker_transitions.value)
+
+    @property
+    def brownout_level(self) -> int:
+        return int(self._brownout_level.value)
+
+    @property
+    def brownout_steps_down(self) -> int:
+        return int(self._brownout_steps_down.value)
+
+    @property
+    def brownout_steps_up(self) -> int:
+        return int(self._brownout_steps_up.value)
+
+    @property
+    def brownout_rejected(self) -> int:
+        return int(self._brownout_rejected.value)
+
+    @property
+    def crashes(self) -> int:
+        return int(self._crashes.value)
+
+    @property
+    def recoveries(self) -> int:
+        return int(self._recoveries.value)
 
     def conserved(self) -> bool:
         """The conservation identity every instant must satisfy."""
@@ -165,6 +255,17 @@ class ServerStats:
                     "mean": round(self.latency_histogram(kind).mean, 3),
                 }
                 for kind in (*OP_KINDS, "all")
+            },
+            "resilience": {
+                "client_retries": self.client_retries,
+                "breaker_fast_fails": self.breaker_fast_fails,
+                "breaker_transitions": self.breaker_transitions,
+                "brownout_level": self.brownout_level,
+                "brownout_steps_down": self.brownout_steps_down,
+                "brownout_steps_up": self.brownout_steps_up,
+                "brownout_rejected": self.brownout_rejected,
+                "crashes": self.crashes,
+                "recoveries": self.recoveries,
             },
         }
         wait = self.queue_wait_histogram()

@@ -107,6 +107,7 @@ class AsyncPageReader:
     demand_reads = MetricAttr("demand_reads")
     demand_covered = MetricAttr("demand_covered")
     prefetches = MetricAttr("prefetches")
+    prefetches_suppressed = MetricAttr("prefetches_suppressed")
     faults_seen = MetricAttr("faults_seen")
     retries = MetricAttr("retries")
     timeouts = MetricAttr("timeouts")
@@ -134,15 +135,20 @@ class AsyncPageReader:
             self, self.obs.metrics, "reader.",
             (
                 "demand_hits", "demand_reads", "demand_covered", "prefetches",
-                "faults_seen", "retries", "timeouts", "checksum_failures",
-                "hedges", "hedge_wins", "backoff_us",
+                "prefetches_suppressed", "faults_seen", "retries", "timeouts",
+                "checksum_failures", "hedges", "hedge_wins", "backoff_us",
             ),
         )
         self._rng = random.Random((seed << 8) ^ 0x5EED)
         self._inflight: dict[int, Event] = {}
-        # Degradation switches (flipped by the query engine's ladder).
+        # Degradation switches (flipped by the query engine's ladder and
+        # the serving layer's brownout controller).
         self.hedge_enabled = True
         self.prefetch_enabled = True
+        #: When set, new prefetches are suppressed while that many page
+        #: reads (demand or prefetch) are already in flight — a brownout
+        #: bound on speculative I/O that never blocks demand reads.
+        self.max_outstanding_prefetches: Optional[int] = None
 
     def _mark(self, name: str, **args) -> None:
         if self._tracer.enabled:
@@ -201,6 +207,12 @@ class AsyncPageReader:
         if not self.prefetch_enabled:
             return None
         if self.pool.contains(page_id) or page_id in self._inflight:
+            return None
+        if (
+            self.max_outstanding_prefetches is not None
+            and len(self._inflight) >= self.max_outstanding_prefetches
+        ):
+            self.prefetches_suppressed += 1
             return None
         self.prefetches += 1
         self._mark("prefetch", page=page_id)

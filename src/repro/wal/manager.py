@@ -153,6 +153,11 @@ class WalManager:
         self.durable_checksums: dict[int, int] = {}
         self._txn: Optional[TransactionContext] = None
         self._next_txn_id = 1
+        #: I/O time (on the WAL's private clock) the most recent committed
+        #: transaction spent making itself durable — log appends included.
+        #: The serving layer charges this on *its* clock so commit latency
+        #: is visible in end-to-end percentiles.
+        self.last_commit_write_us = 0.0
         # Wire into the substrate.  The bound methods are captured once so
         # detach() can compare identities (a fresh ``self._observe`` access
         # would create a new bound-method object every time).
@@ -190,9 +195,11 @@ class WalManager:
         txn = TransactionContext(self._next_txn_id)
         self._next_txn_id += 1
         self._txn = txn
+        io_start = self.io_env.now
         try:
             yield txn
             self._commit(txn)
+            self.last_commit_write_us = self.io_env.now - io_start
         finally:
             self._txn = None
 

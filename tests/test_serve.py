@@ -267,3 +267,104 @@ def test_buffer_pool_exhausted_names_pin_holders():
     assert "session-a#1" in str(exc) and "session-b#2" in str(exc)
     # Both pins released: the access now succeeds.
     pool.access(int(pids[2]))
+
+
+# -- failure paths keep the accounting closed ------------------------------
+
+
+def test_unknown_op_kind_fails_closed_and_conserves():
+    # Regression: an exception outside the expected fault types (here a
+    # ValueError from an unknown op kind) used to escape _execute, killing
+    # the worker with the request still "pending" — conservation broke and
+    # the admission token leaked.  Such errors must land in "failed".
+    db = small_db()
+    server = DbmsServer(db, max_concurrency=2, queue_depth=4, pool_frames=32)
+    bad = server.make_request(("frobnicate", 123))
+    event = server.submit(bad)
+    server.env.run(until=event)
+    assert bad.outcome == "failed"
+    assert isinstance(bad.error, ValueError)
+    assert server.stats.failed == 1
+    assert server.stats.conserved() and server.stats.in_flight == 0
+    # The service token came back: a normal request still gets through.
+    good = server.make_request(("lookup", int(db._workload.keys[0])))
+    server.submit(good)
+    server.run()
+    assert good.outcome == "ok"
+    assert server.stats.conserved()
+
+
+# -- ServerStats under mixed outcomes --------------------------------------
+
+
+def _identity_holds(stats):
+    return stats.issued == (
+        stats.completed + stats.shed_count + stats.failed + stats.in_flight
+    )
+
+
+def test_stats_conserved_through_every_mixed_outcome_step():
+    # Property-style: a seeded random walk over the recording API, with the
+    # conservation identity checked after every single event — not just at
+    # the drain.  Timeouts are deliberate no-ops on the identity (the
+    # client gave up; the server still finishes and records the terminal
+    # outcome), so a "timeout then ok" flip must not double-count.
+    import random as _random
+
+    rng = _random.Random(1234)
+    stats = ServerStats()
+    open_requests = []
+    for step in range(500):
+        if open_requests and rng.random() < 0.5:
+            kind = rng.choice(["lookup", "scan", "insert"])
+            terminal = rng.choice(["ok", "shed", "fail", "timeout-then-ok"])
+            open_requests.pop()
+            if terminal == "ok":
+                stats.complete(kind, rng.uniform(100.0, 50_000.0))
+            elif terminal == "shed":
+                stats.shed()
+            elif terminal == "fail":
+                stats.fail(kind)
+            else:
+                stats.timeout()  # client abandons...
+                stats.complete(kind, rng.uniform(100.0, 50_000.0))  # ...server finishes
+        else:
+            stats.issue()
+            open_requests.append(step)
+        assert _identity_holds(stats), f"identity broke at step {step}"
+    assert stats.in_flight == len(open_requests)
+    # Drain the stragglers; the identity must close exactly.
+    while open_requests:
+        open_requests.pop()
+        stats.fail("lookup")
+        assert _identity_holds(stats)
+    assert stats.in_flight == 0
+    assert stats.issued == stats.completed + stats.shed_count + stats.failed
+    assert stats.timeouts <= stats.completed  # every timeout later completed
+
+
+def test_stats_shed_then_retry_counts_two_issues():
+    # A client retry of a shed request is a brand-new request: both issues
+    # count, and the identity holds at every intermediate instant.
+    stats = ServerStats()
+    stats.issue()
+    stats.shed()
+    assert _identity_holds(stats)
+    stats.issue()  # the retry
+    assert stats.in_flight == 1 and _identity_holds(stats)
+    stats.complete("lookup", 1_500.0)
+    assert _identity_holds(stats)
+    assert stats.issued == 2 and stats.completed == 1 and stats.shed_count == 1
+
+
+def test_stats_listener_sees_terminal_outcomes_only():
+    seen = []
+    stats = ServerStats()
+    stats.listeners.append(lambda kind, latency, ok: seen.append((kind, latency, ok)))
+    stats.issue()
+    stats.timeout()  # not terminal: the server is still working
+    assert seen == []
+    stats.complete("scan", 2_000.0, rows=10)
+    stats.issue()
+    stats.fail("insert")
+    assert seen == [("scan", 2_000.0, True), ("insert", None, False)]
