@@ -1028,6 +1028,7 @@ def traced_scan(
 
 
 from .chaos import chaos_sweep  # noqa: E402  (avoids a cycle)
+from .concurrency import concurrency_sweep  # noqa: E402  (avoids a cycle)
 from .multipage import ablation_multipage_nodes  # noqa: E402  (avoids a cycle)
 from .serving import serve_sweep  # noqa: E402  (avoids a cycle)
 
@@ -1055,4 +1056,5 @@ ALL_EXPERIMENTS = {
     "traced-scan": traced_scan,
     "serve": serve_sweep,
     "chaos": chaos_sweep,
+    "concurrency": concurrency_sweep,
 }

@@ -568,6 +568,11 @@ class DiskFirstFpTree(Index):
         copy, rather than rewriting two full pages.
         """
         self.page_splits += 1
+        wal = getattr(self.env, "wal", None)
+        if wal is not None:
+            # Crash point: the machine can die the instant a split begins,
+            # mid-transaction, leaving the WAL to roll the whole thing back.
+            wal.note_page_split()
         nodes = page.leaf_nodes_in_order()
         if len(nodes) < 2:
             # Degenerate single-node page (tiny page sizes): split entries.

@@ -121,6 +121,11 @@ class MiniDbms:
         self._num_rows_hint = num_rows
         self.wal: Optional[WalManager] = None
         self.last_recovery: Optional[RecoveryStats] = None
+        #: Leaf-map cache (see :meth:`cached_leaf_map`); the generation
+        #: counter distinguishes pre- and post-recovery index objects.
+        self._leaf_map_cache: Optional[tuple[np.ndarray, list[int]]] = None
+        self._leaf_map_epoch: Optional[tuple] = None
+        self._index_generation = 0
         self.env = TreeEnvironment(page_size=page_size, buffer_pages=64)
         self.store = self.env.store
         self.table = HeapTable(self.store, schema)
@@ -411,6 +416,40 @@ class MiniDbms:
         )
         return firsts, pids
 
+    def leaf_map_epoch(self) -> tuple:
+        """Cheap fingerprint of the leaf-page topology.
+
+        Changes whenever a split adds a leaf, a free/merge removes one, the
+        root grows, or recovery swaps the whole index out — every event
+        that can make a cached :meth:`leaf_key_map` route a scan through a
+        stale leaf snapshot.  The ``getattr`` fallbacks keep alternate
+        index kinds (which lack split counters) safe: their epoch then
+        tracks page count and identity only.
+        """
+        index = self.index
+        return (
+            self._index_generation,
+            getattr(index, "page_splits", -1),
+            index.num_pages,
+            getattr(index, "height", -1),
+            getattr(index, "root_pid", -1),
+            getattr(index, "first_leaf_pid", -1),
+        )
+
+    def cached_leaf_map(self) -> tuple[np.ndarray, list[int]]:
+        """Epoch-validated leaf map: recomputed iff the topology moved.
+
+        This replaces the serving layer's manual invalidate-on-insert: a
+        split triggered by *any* path (a concurrent writer, recovery, a
+        direct ``insert``) bumps the epoch, so concurrent scans can never
+        route through a stale snapshot.
+        """
+        epoch = self.leaf_map_epoch()
+        if self._leaf_map_cache is None or self._leaf_map_epoch != epoch:
+            self._leaf_map_cache = self.leaf_key_map()
+            self._leaf_map_epoch = epoch
+        return self._leaf_map_cache
+
     def serve_lookup(self, reader, key: int, page_process_us: float = 150.0, owner=None):
         """Process generator: point lookup through a shared serving substrate.
 
@@ -609,4 +648,6 @@ class MiniDbms:
         self.table = HeapTable(self.store, self.schema)
         self.table.rebind(heap_page_ids)
         self.last_recovery = stats
+        self._index_generation += 1
+        self._leaf_map_cache = None
         return stats

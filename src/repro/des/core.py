@@ -261,6 +261,14 @@ class Environment:
         #: :func:`repro.obs.attach_des_observer`; None (the default) costs
         #: one attribute check per step.
         self.observer: Optional[Callable[[str, Event], None]] = None
+        #: Drain checks, called (in registration order) whenever
+        #: :meth:`run` finds the event queue empty — both at a normal
+        #: ``run()`` completion and when ``run(until=event)`` drains before
+        #: its stop event fires.  A check that detects stuck processes
+        #: (e.g. latch waiters parked forever — see
+        #: :class:`repro.btree.cc.PageLatchManager`) should raise a
+        #: diagnostic; returning normally lets the drain proceed.
+        self.drain_checks: list[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -333,6 +341,7 @@ class Environment:
                     break
                 self.step()
             if not stop_event.triggered:
+                self._run_drain_checks()
                 raise SimulationError("run(until=event): queue drained before event fired")
             if not stop_event.ok:
                 raise stop_event.value
@@ -347,7 +356,12 @@ class Environment:
             return None
         while self._queue:
             self.step()
+        self._run_drain_checks()
         return None
+
+    def _run_drain_checks(self) -> None:
+        for check in self.drain_checks:
+            check()
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

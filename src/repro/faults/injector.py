@@ -112,6 +112,7 @@ class CrashInjector:
         self.plan = plan
         self.wal_appends = 0
         self.page_writes = 0
+        self.page_splits = 0
 
     def on_wal_append(self) -> WriteOutcome:
         """Decision for the WAL append about to be performed."""
@@ -128,5 +129,17 @@ class CrashInjector:
         if self.plan.torn_page_write == self.page_writes:
             return WriteOutcome.TORN
         if self.plan.crash_after_page_writes == self.page_writes:
+            return WriteOutcome.CRASH_AFTER
+        return WriteOutcome.OK
+
+    def on_page_split(self) -> WriteOutcome:
+        """Decision for the index page split about to begin.
+
+        ``CRASH_AFTER`` here means "die right now, before the split's page
+        images reach the log" — the split is mid-transaction, so recovery
+        must roll it back wholesale.
+        """
+        self.page_splits += 1
+        if self.plan.crash_on_page_splits == self.page_splits:
             return WriteOutcome.CRASH_AFTER
         return WriteOutcome.OK

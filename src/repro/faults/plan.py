@@ -103,6 +103,12 @@ class FaultPlan:
         The Nth data-page write is torn: the durable image holds half the
         page's bytes under the full page's checksum, so recovery sees a
         checksum-failing page and must restore it from the log.
+    ``crash_on_page_splits``
+        The machine dies at the *start* of the Nth index page split —
+        mid-transaction, with the split's page images not yet logged, and
+        (under the concurrent serving layer) with every other in-flight
+        writer's work torn down at the same instant.  Recovery must roll
+        the unfinished split back entirely.
     """
 
     seed: int = 0
@@ -114,6 +120,7 @@ class FaultPlan:
     torn_wal_append: Optional[int] = None
     crash_after_page_writes: Optional[int] = None
     torn_page_write: Optional[int] = None
+    crash_on_page_splits: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.timeout_stall_multiplier < 1.0:
@@ -130,17 +137,19 @@ class FaultPlan:
             "torn_wal_append",
             "crash_after_page_writes",
             "torn_page_write",
+            "crash_on_page_splits",
         ):
             value = getattr(self, name)
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be >= 1 (counts are 1-based), got {value}")
 
-    #: The four write-path crash-point fields, in declaration order.
+    #: The write-path crash-point fields, in declaration order.
     CRASH_POINT_FIELDS: ClassVar[tuple[str, ...]] = (
         "crash_after_wal_appends",
         "torn_wal_append",
         "crash_after_page_writes",
         "torn_page_write",
+        "crash_on_page_splits",
     )
 
     def profile(self, disk_id: int) -> DiskFaultProfile:
@@ -218,6 +227,7 @@ class FaultPlan:
         page_writes: Optional[int] = None,
         torn_wal: Optional[int] = None,
         torn_page: Optional[int] = None,
+        page_splits: Optional[int] = None,
         seed: int = 0,
     ) -> "FaultPlan":
         """A deterministic crash/torn-write scenario (no read faults)."""
@@ -227,4 +237,5 @@ class FaultPlan:
             torn_wal_append=torn_wal,
             crash_after_page_writes=page_writes,
             torn_page_write=torn_page,
+            crash_on_page_splits=page_splits,
         )

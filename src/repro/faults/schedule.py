@@ -24,6 +24,9 @@ Clauses are ``;``-separated.  Each clause is a verb plus arguments:
 ``torn wal=N`` / ``torn page=N``
     The Nth WAL append / page write is torn mid-write, then the machine
     dies — recovery must detect and repair the half-written tail.
+``crash split=N``
+    The machine dies at the start of the Nth index page split —
+    mid-transaction, so recovery rolls the unfinished split back.
 
 Times accept ``us``, ``ms`` and ``s`` suffixes (bare numbers are
 microseconds, the storage layer's unit).  ``to_fault_plan()`` compiles the
@@ -45,9 +48,14 @@ __all__ = ["ChaosEvent", "ChaosSchedule"]
 _CRASH_VERBS = {
     ("crash", "wal"): "crash_after_wal_appends",
     ("crash", "page"): "crash_after_page_writes",
+    ("crash", "split"): "crash_on_page_splits",
     ("torn", "wal"): "torn_wal_append",
     ("torn", "page"): "torn_page_write",
 }
+
+#: Crash-point targets each verb accepts (torn splits make no sense: the
+#: split either began or it did not).
+_CRASH_TARGETS = {"crash": ("wal", "page", "split"), "torn": ("wal", "page")}
 
 _TIME_UNITS_US = {"us": 1.0, "ms": 1e3, "s": 1e6}
 
@@ -141,9 +149,11 @@ class ChaosSchedule:
             disk = int(fields["disk"]) if "disk" in fields else None
             return ChaosEvent(verb, disk=disk, rate=float(fields["rate"]))
         if verb in ("crash", "torn"):
-            targets = [target for target in ("wal", "page") if target in fields]
+            allowed = _CRASH_TARGETS[verb]
+            targets = [target for target in allowed if target in fields]
             if len(targets) != 1:
-                raise ValueError(f"{verb} needs exactly one of wal=N or page=N: {clause!r}")
+                options = " or ".join(f"{t}=N" for t in allowed)
+                raise ValueError(f"{verb} needs exactly one of {options}: {clause!r}")
             (target,) = targets
             return ChaosEvent(_CRASH_VERBS[(verb, target)], count=int(fields[target]))
         raise ValueError(f"unknown chaos verb {verb!r} in clause {clause!r}")

@@ -41,11 +41,13 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..btree.base import IndexCorruptionError
 from ..dbms.engine import MiniDbms
 from ..des import AllOf
 from ..faults.errors import SimulatedCrash
 from ..faults.schedule import ChaosSchedule
 from ..scrub import scrub_tree
+from ..verify.linearizability import HistoryRecorder
 from ..storage.prefetch import RetryPolicy
 from ..workloads.ops import MixedOpStream, OpMix
 from .server import DbmsServer
@@ -427,6 +429,8 @@ class ChaosRunner:
         deadline_us: Optional[float] = None,
         checkpoint_interval: int = 4,
         seed: int = 11,
+        concurrency: str = "none",
+        record_history: bool = False,
     ) -> None:
         self.schedule = schedule
         self.plan = schedule.to_fault_plan()
@@ -454,7 +458,17 @@ class ChaosRunner:
             fault_plan=self.plan,
             mirrored=num_disks >= 2,
             seed=seed,
+            concurrency=concurrency,
         )
+        #: Linearizability history (``record_history=True``): the clock
+        #: chases the live environment, so the recorder spans crash
+        #: rebuilds; ops killed by the crash stay pending, which is the
+        #: checker's ambiguous-effect completion rule.
+        self.history: Optional[HistoryRecorder] = None
+        if record_history:
+            self.history = HistoryRecorder(clock=lambda: self.server.env.now)
+            self.history.initial_keys = [int(k) for k in self.db._workload.keys]
+            self.server.attach_history(self.history)
         self.breaker = (
             CircuitBreaker(breaker, clock=lambda: self.server.env.now, stats=self.server.stats)
             if breaker is not None
@@ -556,6 +570,18 @@ class ChaosRunner:
         # downtime, on a monotonic clock.
         server.rebuild_substrate(resume_at=crash_time + recovery.recovery_us)
         server.stats.recovery()
+        # Scrub the recovered tree before resuming traffic — every
+        # recovery, not just in tests.  A violation is a durability bug
+        # (recovery produced a broken tree) and gets its own counter, but
+        # the run continues so the report still lands.
+        scrub_ok = True
+        try:
+            scrub_tree(self.db.index)
+        except IndexCorruptionError:
+            scrub_ok = False
+            server.stats.scrub_violation()
+        else:
+            server.stats.scrub_pass()
         self.crash_log.append(
             {
                 "at_us": round(crash_time, 3),
@@ -566,6 +592,7 @@ class ChaosRunner:
                 "discarded_txns": len(recovery.discarded_txns),
                 "pages_restored": recovery.pages_restored,
                 "recovery_us": round(recovery.recovery_us, 3),
+                "scrub_ok": scrub_ok,
             }
         )
 
@@ -625,6 +652,9 @@ class ChaosRunner:
             "committed_inserts": len(self.committed_keys),
             "lost_inserts": len(lost),
             "scrub_entries": scrub.entries,
+            "scrubs": stats.scrubs,
+            "scrub_violations": stats.scrub_violations,
+            "latch": self.server.latch_counters(),
             "elapsed_us": round(elapsed_us, 3),
             "goodput_ops_s": round(ok_ops / (elapsed_us / 1e6), 3) if elapsed_us > 0 else 0.0,
             "p99_ms": round(stats.percentiles_us()["p99"] / 1e3, 3),

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..btree.cc import ConcurrentTreeOps, PageLatchManager
 from ..dbms.engine import MiniDbms
 from ..des import Environment, WaitTimeout, with_timeout
 from ..faults.errors import SimulatedCrash, StorageFault
@@ -109,6 +110,8 @@ class DbmsServer:
         mirrored: bool = False,
         seed: int = 0,
         obs: Optional[Observability] = None,
+        concurrency: str = "none",
+        retry_budget: int = 8,
     ) -> None:
         self.db = db
         self.obs = obs if obs is not None else Observability(metrics=MetricsRegistry())
@@ -144,6 +147,24 @@ class DbmsServer:
         self.fresh_keys = FreshKeys(max_key + 2, stride=2)
         self._next_rid = 0
         self.requests: list[ServedRequest] = []
+        #: Concurrency control mode: "none" keeps the legacy serve_* paths
+        #: (ops interleave only at yield points, tree mutations are atomic
+        #: re-descents); "page" routes ops through
+        #: :class:`~repro.btree.cc.ConcurrentTreeOps` — optimistic reads
+        #: with version validation plus latch-crabbing writes, so sessions
+        #: genuinely race inside the tree; "coarse" serializes every op
+        #: behind one global latch (the benchmark baseline); "broken"
+        #: disables validation (for seeding known-bad histories).
+        if concurrency not in ("none",) + ConcurrentTreeOps.MODES:
+            raise ValueError(f"unknown concurrency mode {concurrency!r}")
+        self.concurrency = concurrency
+        self.retry_budget = retry_budget
+        self.latches: Optional[PageLatchManager] = None
+        self.cc_ops: Optional[ConcurrentTreeOps] = None
+        #: Latch/traversal counters folded across substrate rebuilds.
+        self.latch_totals: dict[str, int] = {}
+        #: Optional linearizability history recorder (attach_history).
+        self.history = None
         self._build_substrate(initial_time=0.0)
 
     def _build_substrate(self, initial_time: float) -> None:
@@ -165,7 +186,47 @@ class DbmsServer:
             mode=self._admission_mode,
             metrics=self.obs.metrics,
         )
-        self._leaf_map = None
+        if self.concurrency != "none":
+            self._fold_latch_counters()
+            self.latches = PageLatchManager(self.env, self.db.store)
+            self.latches.attach_watchdog()
+            self.cc_ops = ConcurrentTreeOps(
+                self.db,
+                self.latches,
+                mode=self.concurrency,
+                page_process_us=self.page_process_us,
+                retry_budget=self.retry_budget,
+            )
+
+    def _fold_latch_counters(self) -> None:
+        """Fold the outgoing substrate's latch counters into the totals."""
+        for source in (self.latches, self.cc_ops):
+            if source is None:
+                continue
+            for name, value in source.counters().items():
+                self.latch_totals[name] = self.latch_totals.get(name, 0) + value
+
+    def latch_counters(self) -> dict[str, int]:
+        """Cumulative concurrency-control counters (across rebuilds)."""
+        totals = dict(self.latch_totals)
+        for source in (self.latches, self.cc_ops):
+            if source is None:
+                continue
+            for name, value in source.counters().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def attach_history(self, recorder) -> None:
+        """Record every op's invocation/response into ``recorder``.
+
+        The recorder is a
+        :class:`~repro.verify.linearizability.HistoryRecorder`; give it a
+        clock that chases the live environment (``lambda: server.env.now``)
+        so it survives crash rebuilds.  Ops that fail or die in a crash are
+        left pending — their effect is ambiguous, which is exactly what the
+        checker's completion rule models.
+        """
+        self.history = recorder
 
     # -- request construction / submission ---------------------------------
 
@@ -266,42 +327,72 @@ class DbmsServer:
     def _dispatch(self, request: ServedRequest):
         kind = request.op[0]
         owner = f"{request.session}#{request.rid}"
+        if kind == "insert" and request.op[1] is None:
+            # Materialize the key into the request so clients can track
+            # which acknowledged inserts must survive a crash.
+            request.op = ("insert", self.fresh_keys.take())
+        # History semantics: invoke at dispatch start, respond only on
+        # server-side completion.  An op killed by a fault or crash never
+        # responds and stays *pending* in the history — its effect is
+        # ambiguous (the mutation may have committed before the write-through
+        # faulted), which is the checker's completion rule exactly.
+        hist_id = None
+        if self.history is not None and kind in ("lookup", "scan", "insert"):
+            hist_id = self.history.invoke(request.session, kind, request.op[1:])
         if kind == "lookup":
-            row = yield from self.db.serve_lookup(
-                self.reader, request.op[1],
-                page_process_us=self.page_process_us, owner=owner,
-            )
+            if self.cc_ops is not None:
+                row = yield from self.cc_ops.lookup(
+                    self.reader, request.op[1], owner=owner
+                )
+            else:
+                row = yield from self.db.serve_lookup(
+                    self.reader, request.op[1],
+                    page_process_us=self.page_process_us, owner=owner,
+                )
+            if hist_id is not None:
+                self.history.respond(hist_id, row is not None)
             return 1 if row is not None else 0
         if kind == "scan":
-            count = yield from self.db.serve_scan(
-                self.reader, request.op[1], request.op[2],
-                page_process_us=self.page_process_us,
-                leaf_map=self._cached_leaf_map(),
-                prefetch_depth=self.scan_prefetch_depth,
-                max_pages=self.max_scan_pages,
-                owner=owner,
-            )
+            if self.cc_ops is not None:
+                count, truncated = yield from self.cc_ops.scan(
+                    self.reader, request.op[1], request.op[2],
+                    owner=owner, max_pages=self.max_scan_pages,
+                )
+            else:
+                count = yield from self.db.serve_scan(
+                    self.reader, request.op[1], request.op[2],
+                    page_process_us=self.page_process_us,
+                    leaf_map=self._cached_leaf_map(),
+                    prefetch_depth=self.scan_prefetch_depth,
+                    max_pages=self.max_scan_pages,
+                    owner=owner,
+                )
+                truncated = self.max_scan_pages is not None
+            if hist_id is not None:
+                # A truncated scan's count is partial by design: record it
+                # as unconstrained rather than as a model violation.
+                self.history.respond(hist_id, None if truncated else int(count))
             return count
         if kind == "insert":
             key = request.op[1]
-            if key is None:
-                # Materialize the key into the request so clients can track
-                # which acknowledged inserts must survive a crash.
-                key = self.fresh_keys.take()
-                request.op = ("insert", key)
-            yield from self.db.serve_insert(
-                self.reader, self.disks, key,
-                page_process_us=self.page_process_us, owner=owner,
-            )
-            # The insert may have split a leaf: the cached range map is stale.
-            self._leaf_map = None
+            if self.cc_ops is not None:
+                yield from self.cc_ops.insert(
+                    self.reader, self.disks, key, owner=owner
+                )
+            else:
+                yield from self.db.serve_insert(
+                    self.reader, self.disks, key,
+                    page_process_us=self.page_process_us, owner=owner,
+                )
+            if hist_id is not None:
+                self.history.respond(hist_id, True)
             return 1
         raise ValueError(f"unknown op kind {kind!r}")
 
     def _cached_leaf_map(self):
-        if self._leaf_map is None:
-            self._leaf_map = self.db.leaf_key_map()
-        return self._leaf_map
+        # Epoch-checked in the engine: splits, frees and recovery rebuilds
+        # all invalidate it, so no stale leaf snapshot can route a scan.
+        return self.db.cached_leaf_map()
 
     # -- crash handling ----------------------------------------------------
 

@@ -79,6 +79,8 @@ class ServerStats:
         self._brownout_rejected = self.metrics.counter("serve.brownout.rejected")
         self._crashes = self.metrics.counter("serve.crashes")
         self._recoveries = self.metrics.counter("serve.recoveries")
+        self._scrubs = self.metrics.counter("serve.scrubs")
+        self._scrub_violations = self.metrics.counter("serve.scrub_violations")
         #: Outcome listeners (the brownout SLO monitor registers here): each
         #: is called as ``listener(kind, latency_us, ok)`` on every terminal
         #: server-side outcome — completions with their latency, failures
@@ -150,6 +152,19 @@ class ServerStats:
     def recovery(self) -> None:
         self._recoveries.inc()
 
+    def scrub_pass(self) -> None:
+        """A post-recovery structural scrub ran and found the tree sound."""
+        self._scrubs.inc()
+
+    def scrub_violation(self) -> None:
+        """A post-recovery scrub found structural corruption.
+
+        Distinct from :meth:`fail`: a scrub violation means recovery itself
+        produced a broken tree — a durability bug, not a failed request.
+        """
+        self._scrubs.inc()
+        self._scrub_violations.inc()
+
     # -- reading -----------------------------------------------------------
 
     @property
@@ -216,6 +231,14 @@ class ServerStats:
     def recoveries(self) -> int:
         return int(self._recoveries.value)
 
+    @property
+    def scrubs(self) -> int:
+        return int(self._scrubs.value)
+
+    @property
+    def scrub_violations(self) -> int:
+        return int(self._scrub_violations.value)
+
     def conserved(self) -> bool:
         """The conservation identity every instant must satisfy."""
         return self.issued == self.completed + self.shed_count + self.failed + self.in_flight
@@ -266,6 +289,8 @@ class ServerStats:
                 "brownout_rejected": self.brownout_rejected,
                 "crashes": self.crashes,
                 "recoveries": self.recoveries,
+                "scrubs": self.scrubs,
+                "scrub_violations": self.scrub_violations,
             },
         }
         wait = self.queue_wait_histogram()

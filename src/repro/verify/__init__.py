@@ -1,0 +1,22 @@
+"""Correctness oracles for concurrent executions.
+
+:mod:`repro.verify.linearizability` records invocation/response histories
+of concurrent serve-layer operations on the DES clock and checks them
+against a sequential map model with a Wing–Gong style search.
+"""
+
+from .linearizability import (
+    CheckResult,
+    History,
+    HistoryRecorder,
+    Op,
+    check_linearizable,
+)
+
+__all__ = [
+    "CheckResult",
+    "History",
+    "HistoryRecorder",
+    "Op",
+    "check_linearizable",
+]

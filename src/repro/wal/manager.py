@@ -298,6 +298,25 @@ class WalManager:
         event = self._data_device.write_page(page_id)
         self.io_env.run(until=event)
 
+    def note_page_split(self) -> None:
+        """Crash hook at the start of an index page split.
+
+        Called by the tree (see ``DiskFirstFpTree._split_page_and_insert``)
+        the instant a split begins — before any of its page images are
+        logged — so the armed ``crash_on_page_splits`` point dies with the
+        split's transaction open and every concurrent writer in flight.
+        """
+        if self.crash is None:
+            return
+        outcome = self.crash.on_page_split()
+        if outcome is WriteOutcome.CRASH_AFTER:
+            if self._tracer.enabled:
+                self._tracer.instant(
+                    "crash-on-split", track="walmgr", cat="wal",
+                    count=self.crash.page_splits,
+                )
+            raise SimulatedCrash("page-split", self.crash.page_splits)
+
     def checkpoint(self) -> int:
         """Force every committed-dirty page, then log ``CHECKPOINT``.
 
