@@ -18,6 +18,13 @@ Races the two memory-trace engines on the *same* recorded search workload:
    wall-clock numbers, the speedup, and throughput (simulated accesses/sec
    and trace ops/sec) to ``BENCH_selfperf.json``.
 
+A second race covers the serving tree's batched in-page search: the
+vectorized ``route_batch_in_page``/``search_leaf_page_batch`` helpers vs
+the scalar ``_route_in_page``/``_search_leaf_page`` walks, over every
+page of a built MiniDbms index and a mixed hit/miss probe batch.  Results
+are asserted identical before timing; the record lands under
+``inpage_route`` in the same JSON file.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_selfperf.py [--smoke] [--out FILE]
@@ -37,10 +44,19 @@ from dataclasses import fields
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
+import numpy as np
+
+from repro.btree.batch import (
+    page_separator_arrays,
+    route_batch_in_page,
+    search_leaf_page_batch,
+)
+from repro.btree.cc import _route_in_page, _search_leaf_page
 from repro.btree.context import TreeEnvironment
 from repro.btree.trace import RecordingTracer
 from repro.core.disk_first import DiskFirstFpTree
 from repro.mem.hierarchy import MemorySystem
+from repro.dbms.engine import MiniDbms
 from repro.mem.legacy import LegacyMemorySystem
 from repro.mem.stats import MemoryStats
 
@@ -50,6 +66,12 @@ DEFAULT = dict(page_size=32_768, num_keys=100_000, searches=2_000, reps=7)
 SMOKE = dict(page_size=32_768, num_keys=10_000, searches=200, reps=2)
 KEY_SPACE = 10_000_000
 SEED = 42
+
+#: In-page routing race: every index page of a built serving tree, probed
+#: with a sorted mixed hit/miss batch (the level-wise executor's unit of
+#: work).
+INPAGE_DEFAULT = dict(num_rows=8_000, page_size=4096, probes=1_000, reps=5)
+INPAGE_SMOKE = dict(num_rows=2_000, page_size=1024, probes=200, reps=2)
 
 
 def record_search_ops(page_size: int, num_keys: int, searches: int) -> list[tuple]:
@@ -184,6 +206,90 @@ def race(ops: list[tuple], reps: int) -> dict:
     }
 
 
+def build_inpage_workload(num_rows: int, page_size: int, probes: int):
+    """Every index page of a built MiniDbms plus a sorted probe batch."""
+    db = MiniDbms(
+        num_rows=num_rows, num_disks=4, page_size=page_size, seed=SEED, mature=False
+    )
+    tree = db.index
+    interior, leaves = [], []
+    frontier = [tree.root_pid]
+    while frontier:
+        next_frontier = []
+        for pid in frontier:
+            page = tree.store.page(pid)
+            if page.level > 0:
+                interior.append(page)
+                __, ptrs = page_separator_arrays(page)
+                next_frontier.extend(int(p) for p in ptrs)
+            else:
+                leaves.append(page)
+        frontier = next_frontier
+    rng = random.Random(SEED)
+    keys = [int(k) for k in db._workload.keys]
+    # Hits, near-miss gap keys, and out-of-range probes in one sorted batch.
+    pool = keys + [k + 1 for k in keys] + [keys[0] - 3, keys[-1] + 9]
+    batch = np.asarray(sorted(rng.choice(pool) for __ in range(probes)), dtype=np.int64)
+    return interior, leaves, batch
+
+
+def inpage_race(interior: list, leaves: list, batch: np.ndarray, reps: int) -> dict:
+    """Vectorized vs scalar in-page routing over the same pages and probes."""
+    keys_list = [int(k) for k in batch]
+
+    def scalar_pass() -> list[list[int]]:
+        out = []
+        for page in interior:
+            out.append([_route_in_page(page, key) for key in keys_list])
+        for page in leaves:
+            out.append([_search_leaf_page(page, key) or 0 for key in keys_list])
+        return out
+
+    def vector_pass() -> list[list[int]]:
+        out = []
+        for page in interior:
+            out.append([int(p) for p in route_batch_in_page(page, batch)])
+        for page in leaves:
+            out.append([int(t) for t in search_leaf_page_batch(page, batch)])
+        return out
+
+    if scalar_pass() != vector_pass():
+        raise AssertionError("vectorized in-page routing diverged from the scalar walk")
+
+    def timed(fn) -> float:
+        gc.collect()
+        gc.disable()
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        gc.enable()
+        return elapsed
+
+    timed(scalar_pass)  # warm-up, untimed
+    timed(vector_pass)
+    best_scalar = best_vector = None
+    for __ in range(reps):
+        t_scalar = timed(scalar_pass)
+        t_vector = timed(vector_pass)
+        if best_scalar is None or t_scalar < best_scalar:
+            best_scalar = t_scalar
+        if best_vector is None or t_vector < best_vector:
+            best_vector = t_vector
+    routings = (len(interior) + len(leaves)) * len(keys_list)
+    return {
+        "scalar_wall_s": round(best_scalar, 6),
+        "vectorized_wall_s": round(best_vector, 6),
+        "speedup": round(best_scalar / best_vector, 3),
+        "interior_pages": len(interior),
+        "leaf_pages": len(leaves),
+        "probe_keys": len(keys_list),
+        "routings": routings,
+        "scalar_routings_per_s": round(routings / best_scalar),
+        "vectorized_routings_per_s": round(routings / best_vector),
+        "results_identical": True,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -206,6 +312,16 @@ def main(argv=None) -> int:
     ops = record_search_ops(params["page_size"], params["num_keys"], params["searches"])
     print(f"recorded {len(ops)} trace ops; racing {params['reps']} reps per engine")
     result = race(ops, params["reps"])
+    inpage_params = dict(INPAGE_SMOKE if args.smoke else INPAGE_DEFAULT)
+    interior, leaves, batch = build_inpage_workload(
+        inpage_params["num_rows"], inpage_params["page_size"], inpage_params["probes"]
+    )
+    print(
+        f"in-page routing race: {len(interior)} interior + {len(leaves)} leaf "
+        f"pages x {len(batch)} probes, {inpage_params['reps']} reps"
+    )
+    result["inpage_route"] = inpage_race(interior, leaves, batch, inpage_params["reps"])
+    result["inpage_route"]["workload"] = dict(inpage_params, seed=SEED)
     result["workload"] = {
         "tree": "fp-disk",
         "page_size": params["page_size"],
@@ -223,6 +339,12 @@ def main(argv=None) -> int:
         f"legacy {result['legacy_wall_s'] * 1000:.1f} ms  "
         f"batched {result['batched_wall_s'] * 1000:.1f} ms  "
         f"speedup {result['speedup']:.2f}x  (stats identical)"
+    )
+    inpage = result["inpage_route"]
+    print(
+        f"in-page routing: scalar {inpage['scalar_wall_s'] * 1000:.1f} ms  "
+        f"vectorized {inpage['vectorized_wall_s'] * 1000:.1f} ms  "
+        f"speedup {inpage['speedup']:.2f}x  (results identical)"
     )
     print(f"wrote {args.out}")
     return 0

@@ -15,16 +15,27 @@ disk-array service limit):
 (d) accounting is conserved on every row (issued == completed + shed on a
     drained run) and fixed-seed runs are bit-for-bit identical.
 
+Claims checked on the ``serve-batch`` race (batched vs individual lookup
+admission over identical arrival streams, lookup-heavy mix):
+
+(e) batch mode completes >= 1.5x the lookup throughput of individual
+    admission at every offered load — one admission token carries a whole
+    batch, shared upper pages are read once, and sorted per-level
+    prefetch waves land leaf reads near-sequentially;
+(f) the win comes from genuine batching (batches formed, mean size > 1,
+    prefetch waves issued) while individual mode forms none.
+
 Runs standalone too — ``python benchmarks/bench_serve.py --smoke`` does a
-scaled-down pass of the same assertions (the CI serve-smoke job), and
-``--out FILE`` writes a canonical JSON payload (rows + the smoke run's
-latency histogram) whose bytes double as the CI determinism gate.
+scaled-down pass of the same assertions (the CI serve-smoke and
+batch-smoke jobs), and ``--out FILE`` writes a canonical JSON payload
+(sweep + race rows + the smoke run's latency histogram) whose bytes
+double as the CI determinism gate.
 """
 
 import json
 import sys
 
-from repro.bench.serving import serve_sweep
+from repro.bench.serving import serve_batch_race, serve_sweep
 from repro.dbms.engine import MiniDbms
 from repro.serve import DbmsServer, OpenLoopLoadGenerator
 from repro.workloads import OpMix
@@ -32,6 +43,11 @@ from repro.workloads import OpMix
 SMOKE_SCALE = dict(
     num_rows=6_000,
     offered_loads=(200, 1200, 2400),
+    duration_s=0.5,
+)
+
+BATCH_SMOKE_SCALE = dict(
+    offered_loads=(1600,),
     duration_s=0.5,
 )
 
@@ -61,6 +77,31 @@ def check_claims(result):
     assert top["shed"] > second_top["shed"] or second_top["shed"] > 0
 
 
+def check_batch_claims(result):
+    """Assert the batched-admission claims on a serve_batch_race() FigureResult."""
+    by_load = {}
+    for row in result.rows:
+        by_load.setdefault(row["offered_ops_s"], {})[row["mode"]] = row
+    assert by_load, "race produced no rows"
+    for load, modes in sorted(by_load.items()):
+        fifo, batch = modes["fifo"], modes["batch"]
+        # (f) the modes really differ: individual admission never batches,
+        # batch admission forms multi-op batches and issues prefetch waves.
+        assert fifo["batches"] == 0 and fifo["prefetch_waves"] == 0, fifo
+        assert batch["batches"] > 0 and batch["mean_batch_size"] > 1.0, batch
+        assert batch["prefetch_waves"] > 0, batch
+        # (e) the headline claim: batched execution completes >= 1.5x the
+        # lookup throughput of individual admission on the same arrivals.
+        assert (
+            batch["lookup_throughput_ops_s"]
+            >= 1.5 * fifo["lookup_throughput_ops_s"]
+        ), (fifo, batch)
+        assert batch["lookups_completed"] >= 1.5 * fifo["lookups_completed"], (
+            fifo,
+            batch,
+        )
+
+
 def smoke_histogram(seed: int = 11):
     """One deterministic overloaded run; returns its latency histogram."""
     scale = SMOKE_SCALE
@@ -88,12 +129,20 @@ def smoke_histogram(seed: int = 11):
 def payload(smoke: bool):
     result = serve_sweep(**SMOKE_SCALE) if smoke else serve_sweep()
     check_claims(result)
-    return result, {
+    race = serve_batch_race(**BATCH_SMOKE_SCALE) if smoke else serve_batch_race()
+    check_batch_claims(race)
+    return result, race, {
         "name": result.name,
         "smoke": smoke,
         "columns": list(result.columns),
         "rows": result.rows,
         "notes": result.notes,
+        "batch_race": {
+            "name": race.name,
+            "columns": list(race.columns),
+            "rows": race.rows,
+            "notes": race.notes,
+        },
         "histogram_run": smoke_histogram(),
     }
 
@@ -108,14 +157,29 @@ def test_serve_sweep(benchmark):
     assert serve_sweep(**SMOKE_SCALE).rows == result.rows
 
 
+def test_serve_batch_race(benchmark):
+    from conftest import record
+
+    race = benchmark.pedantic(
+        serve_batch_race, kwargs=BATCH_SMOKE_SCALE, rounds=1, iterations=1
+    )
+    record(benchmark, race)
+    check_batch_claims(race)
+    # Fixed seed => bit-for-bit reproducible rows.
+    assert serve_batch_race(**BATCH_SMOKE_SCALE).rows == race.rows
+
+
 def main(argv):
     smoke = "--smoke" in argv
     out_path = None
     if "--out" in argv:
         out_path = argv[argv.index("--out") + 1]
-    result, data = payload(smoke)
+    result, race, data = payload(smoke)
     print(result.format_table())
-    rerun_result, rerun_data = payload(smoke)
+    print(race.format_table())
+    for note in race.notes:
+        print(f"  {note}")
+    rerun_result, rerun_race, rerun_data = payload(smoke)
     assert rerun_data == data, "serving run is not deterministic"
     text = json.dumps(data, indent=2, sort_keys=True)
     if out_path:

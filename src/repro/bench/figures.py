@@ -1030,7 +1030,7 @@ def traced_scan(
 from .chaos import chaos_sweep  # noqa: E402  (avoids a cycle)
 from .concurrency import concurrency_sweep  # noqa: E402  (avoids a cycle)
 from .multipage import ablation_multipage_nodes  # noqa: E402  (avoids a cycle)
-from .serving import serve_sweep  # noqa: E402  (avoids a cycle)
+from .serving import serve_batch_race, serve_sweep  # noqa: E402  (avoids a cycle)
 
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -1055,6 +1055,7 @@ ALL_EXPERIMENTS = {
     "ablation-multipage-nodes": ablation_multipage_nodes,
     "traced-scan": traced_scan,
     "serve": serve_sweep,
+    "serve-batch": serve_batch_race,
     "chaos": chaos_sweep,
     "concurrency": concurrency_sweep,
 }

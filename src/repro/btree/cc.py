@@ -579,7 +579,6 @@ class ConcurrentTreeOps:
                 count = yield from self.db.serve_scan(
                     reader, start_key, end_key,
                     page_process_us=self.page_process_us,
-                    leaf_map=self.db.cached_leaf_map(),
                     max_pages=max_pages, owner=owner,
                 )
             finally:

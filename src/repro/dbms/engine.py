@@ -32,6 +32,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..btree.batch import LevelWiseLookupBatch
 from ..btree.context import TreeEnvironment
 from ..core.disk_first import DiskFirstFpTree
 from ..des import Environment, Store
@@ -474,13 +475,39 @@ class MiniDbms:
         yield env.timeout(page_process_us)
         return self.table.fetch(int(tid) - 1)
 
+    def serve_lookup_batch(
+        self,
+        reader,
+        keys,
+        page_process_us: float = 150.0,
+        owner=None,
+        cc=None,
+        on_result=None,
+    ):
+        """Process generator: batched point lookups, traversed level-wise.
+
+        All keys descend together: per tree level, the pages the batch
+        needs issue as one prefetch wave in sorted page-id order, each
+        visited page is decoded/charged once for the whole batch, and the
+        in-page routing is numpy-vectorized
+        (:class:`~repro.btree.batch.LevelWiseLookupBatch`).  Returns the
+        rows aligned with ``keys`` (``None`` per miss); ``on_result(i, row)``
+        fires as each key resolves, so callers can attribute per-op
+        latency without waiting for batch stragglers.  ``cc`` selects the
+        concurrency protocol exactly as for single-key serving.
+        """
+        batch = LevelWiseLookupBatch(
+            self, keys, page_process_us=page_process_us, owner=owner, cc=cc
+        )
+        rows = yield from batch.run(reader, on_result=on_result)
+        return rows
+
     def serve_scan(
         self,
         reader,
         start_key: int,
         end_key: int,
         page_process_us: float = 150.0,
-        leaf_map: Optional[tuple[np.ndarray, list[int]]] = None,
         prefetch_depth: int = 4,
         max_pages: Optional[int] = None,
         owner=None,
@@ -498,18 +525,23 @@ class MiniDbms:
         count of the leaves actually read — instead of the full range.
         """
         env = reader.env
-        if leaf_map is None:
-            leaf_map = self.leaf_key_map()
-        firsts, pids = leaf_map
+        for pid in self.index.page_path(start_key)[:-1]:
+            yield from reader.demand(pid)
+            yield env.timeout(page_process_us)
+        # Resolve the covering leaf span only *after* the descent's blocking
+        # reads: a split landing between the yields above re-routes the scan
+        # instead of leaving it on the stale side of the boundary.  (The
+        # epoch-checked cache makes this resolution O(1) when nothing moved;
+        # splits during the span walk below are the same residual window
+        # per-key lookups live with, and untruncated counts come from an
+        # atomic fresh range_scan at the end.)
+        firsts, pids = self.cached_leaf_map()
         lo = max(int(np.searchsorted(firsts, start_key, side="right")) - 1, 0)
         hi = max(int(np.searchsorted(firsts, end_key, side="right")) - 1, lo)
         span_pids = pids[lo : hi + 1]
         truncated = max_pages is not None and len(span_pids) > max_pages
         if truncated:
             span_pids = span_pids[:max_pages]
-        for pid in self.index.page_path(start_key)[:-1]:
-            yield from reader.demand(pid)
-            yield env.timeout(page_process_us)
         issued = 0
         for index, pid in enumerate(span_pids):
             if prefetch_depth:

@@ -31,7 +31,7 @@ from typing import Optional
 
 from ..btree.cc import ConcurrentTreeOps, PageLatchManager
 from ..dbms.engine import MiniDbms
-from ..des import Environment, WaitTimeout, with_timeout
+from ..des import Environment, Event, WaitTimeout, with_timeout
 from ..faults.errors import SimulatedCrash, StorageFault
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
@@ -85,6 +85,16 @@ class ServedRequest:
         return self.finished_at - self.issued_at
 
 
+@dataclass
+class _LookupBatch:
+    """One open batch of point lookups awaiting execution."""
+
+    bid: int
+    #: (request, completion event) pairs in arrival order.
+    entries: list = field(default_factory=list)
+    closed: bool = False
+
+
 class DbmsServer:
     """Serves concurrent lookup/scan/insert traffic against one MiniDbms.
 
@@ -92,7 +102,14 @@ class DbmsServer:
     table, so concurrent clients genuinely contend for frames and
     spindles); ``max_concurrency``/``queue_depth`` configure admission;
     ``deadline_us`` arms a per-query client deadline.  ``admission_mode``
-    is ``"fifo"`` or ``"priority"`` (requests then carry a priority class).
+    is ``"fifo"``, ``"priority"`` (requests then carry a priority class),
+    or ``"batch"``: point lookups are collected into size- and
+    deadline-bounded batches (``batch_max`` / ``batch_window_us``) and
+    executed level-wise through
+    :meth:`~repro.dbms.engine.MiniDbms.serve_lookup_batch` — one
+    admission token, one prefetch wave per tree level, per-op latency
+    attribution.  Scans and inserts flow through the individual path
+    unchanged; the underlying admission queue runs FIFO.
     """
 
     def __init__(
@@ -112,7 +129,15 @@ class DbmsServer:
         obs: Optional[Observability] = None,
         concurrency: str = "none",
         retry_budget: int = 8,
+        batch_window_us: float = 2_000.0,
+        batch_max: int = 16,
     ) -> None:
+        if admission_mode not in ("fifo", "priority", "batch"):
+            raise ValueError(f"unknown admission mode {admission_mode!r}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if batch_window_us <= 0:
+            raise ValueError(f"batch_window_us must be positive, got {batch_window_us}")
         self.db = db
         self.obs = obs if obs is not None else Observability(metrics=MetricsRegistry())
         self._config = StorageConfig(
@@ -130,6 +155,12 @@ class DbmsServer:
         self._max_concurrency = max_concurrency
         self._queue_depth = queue_depth
         self._admission_mode = admission_mode
+        #: Batch admission: lookups are grouped; the queue itself is FIFO.
+        self.batching = admission_mode == "batch"
+        self.batch_window_us = batch_window_us
+        self.batch_max = batch_max
+        self._open_batch: Optional[_LookupBatch] = None
+        self._next_batch_id = 0
         self._policy = policy
         self._seed = seed
         self.stats = ServerStats(self.obs.metrics)
@@ -183,9 +214,13 @@ class DbmsServer:
             self.env,
             max_concurrency=self._max_concurrency,
             max_queue_depth=self._queue_depth,
-            mode=self._admission_mode,
+            mode="fifo" if self.batching else self._admission_mode,
             metrics=self.obs.metrics,
         )
+        #: An open batch's closer timer died with the old environment, so a
+        #: crash-rebuild starts with no batch collecting (its requests are
+        #: drained by fail_unfinished like every other in-flight op).
+        self._open_batch = None
         if self.concurrency != "none":
             self._fold_latch_counters()
             self.latches = PageLatchManager(self.env, self.db.store)
@@ -257,6 +292,24 @@ class DbmsServer:
             request.finished_at = self.env.now
             self.stats.shed()
             self.stats.brownout_rejection()
+            return request
+        if self.batching and request.kind == "lookup":
+            completion = self._join_lookup_batch(request)
+            if self.deadline_us is None:
+                yield completion
+                return request
+            try:
+                yield with_timeout(
+                    self.env, completion, self.deadline_us,
+                    detail=f"request {request.rid}",
+                )
+            except WaitTimeout:
+                # The deadline is per op, measured from *issue* — batch
+                # window wait included — and client-side only: the batch
+                # keeps running and completes the op for its batchmates.
+                request.timed_out = True
+                request.outcome = "timeout"
+                self.stats.timeout()
             return request
         try:
             ticket = yield from self.admission.admit(request.priority)
@@ -362,7 +415,6 @@ class DbmsServer:
                 count = yield from self.db.serve_scan(
                     self.reader, request.op[1], request.op[2],
                     page_process_us=self.page_process_us,
-                    leaf_map=self._cached_leaf_map(),
                     prefetch_depth=self.scan_prefetch_depth,
                     max_pages=self.max_scan_pages,
                     owner=owner,
@@ -389,10 +441,114 @@ class DbmsServer:
             return 1
         raise ValueError(f"unknown op kind {kind!r}")
 
-    def _cached_leaf_map(self):
-        # Epoch-checked in the engine: splits, frees and recovery rebuilds
-        # all invalidate it, so no stale leaf snapshot can route a scan.
-        return self.db.cached_leaf_map()
+    # -- batched lookups (admission_mode="batch") ---------------------------
+
+    def _join_lookup_batch(self, request: ServedRequest) -> Event:
+        """Add a lookup to the open batch; returns its completion event.
+
+        The first joiner opens a fresh batch and arms its close timer
+        (``batch_window_us``); reaching ``batch_max`` closes it early.  The
+        completion event fires with the request once the batch resolves it
+        — on success, shed, or failure.
+        """
+        batch = self._open_batch
+        if batch is None or batch.closed:
+            batch = _LookupBatch(bid=self._next_batch_id)
+            self._next_batch_id += 1
+            self._open_batch = batch
+            self.env.process(self._batch_closer(batch))
+        completion = Event(self.env)
+        batch.entries.append((request, completion))
+        if len(batch.entries) >= self.batch_max:
+            self._close_batch(batch)
+        return completion
+
+    def _batch_closer(self, batch: _LookupBatch):
+        yield self.env.timeout(self.batch_window_us)
+        self._close_batch(batch)
+
+    def _close_batch(self, batch: _LookupBatch) -> None:
+        if batch.closed:
+            return  # the size bound beat the timer (or vice versa)
+        batch.closed = True
+        if self._open_batch is batch:
+            self._open_batch = None
+        self.stats.batch_closed(len(batch.entries))
+        self.env.process(self._batch_runner(batch))
+
+    def _batch_runner(self, batch: _LookupBatch):
+        """Execute one closed batch under a single admission token."""
+        admission = self.admission
+        entries = batch.entries
+        try:
+            ticket = yield from admission.admit(0)
+        except AdmissionRejected as exc:
+            for request, completion in entries:
+                request.outcome = "shed"
+                request.error = exc
+                request.finished_at = self.env.now
+                self.stats.shed()
+                completion.succeed(request)
+            return
+        now = self.env.now
+        hist_ids: list = []
+        for request, __ in entries:
+            request.admitted_at = now
+            request.queue_wait_us = now - request.issued_at
+            hist_ids.append(
+                self.history.invoke(request.session, "lookup", request.op[1:])
+                if self.history is not None
+                else None
+            )
+        unfinished = set(range(len(entries)))
+
+        def finish(i: int, row) -> None:
+            request, completion = entries[i]
+            unfinished.discard(i)
+            request.rows = 1 if row is not None else 0
+            request.outcome = "ok"
+            request.finished_at = self.env.now
+            self.stats.complete("lookup", request.latency_us, request.rows)
+            if hist_ids[i] is not None:
+                self.history.respond(hist_ids[i], row is not None)
+            completion.succeed(request)
+
+        worker = self.env.process(
+            self._batch_worker(
+                [request.op[1] for request, __ in entries],
+                f"batch#{batch.bid}",
+                finish,
+            )
+        )
+        try:
+            # Deadlines are not the runner's business: each op's client arms
+            # its own issue-to-completion timeout in _client, so a shared
+            # traversal never mis-attributes one op's deadline to its
+            # batchmates.
+            yield worker
+        except SimulatedCrash:
+            # Machine-wide crash: let it propagate so fail_unfinished
+            # accounts for every in-flight request at once (see _execute).
+            raise
+        except Exception as exc:
+            for i in sorted(unfinished):
+                request, completion = entries[i]
+                request.outcome = "failed"
+                request.error = exc
+                request.finished_at = self.env.now
+                self.stats.fail("lookup")
+                completion.succeed(request)
+            unfinished.clear()
+        finally:
+            if admission is self.admission:
+                admission.release(ticket)
+
+    def _batch_worker(self, keys, owner, finish):
+        yield from self.db.serve_lookup_batch(
+            self.reader, keys,
+            page_process_us=self.page_process_us,
+            owner=owner, cc=self.cc_ops, on_result=finish,
+        )
 
     # -- crash handling ----------------------------------------------------
 

@@ -68,6 +68,9 @@ class ServerStats:
         self._latency_all = self.metrics.histogram(
             "serve.latency_us.all", bounds=SERVE_LATENCY_BOUNDS_US
         )
+        # Batch admission plane: closed batches and the ops they carried.
+        self._batches = self.metrics.counter("serve.batches")
+        self._batched_ops = self.metrics.counter("serve.batched_ops")
         # Resilience plane: client retries, circuit breaker, brownout, crashes.
         self._client_retries = self.metrics.counter("serve.client_retries")
         self._breaker_fast_fails = self.metrics.counter("serve.breaker.fast_fails")
@@ -111,6 +114,16 @@ class ServerStats:
         self._latency_all.record(latency_us)
         for listener in self.listeners:
             listener(kind, latency_us, True)
+
+    def batch_closed(self, size: int) -> None:
+        """A lookup batch closed (window expired or ``batch_max`` reached).
+
+        Each batched op is still issued/completed individually — batching
+        shares I/O and admission, never the accounting — so this counter
+        only attributes how the ops were executed.
+        """
+        self._batches.inc()
+        self._batched_ops.inc(size)
 
     def fail(self, kind: str) -> None:
         self._failed.inc()
@@ -196,6 +209,14 @@ class ServerStats:
         return int(self._rows.value)
 
     @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def batched_ops(self) -> int:
+        return int(self._batched_ops.value)
+
+    @property
     def client_retries(self) -> int:
         return int(self._client_retries.value)
 
@@ -271,6 +292,8 @@ class ServerStats:
             "timeouts": self.timeouts,
             "in_flight": self.in_flight,
             "rows_returned": self.rows_returned,
+            "batches": self.batches,
+            "batched_ops": self.batched_ops,
             "latency_us": {
                 kind: {
                     **self.percentiles_us(kind),

@@ -108,6 +108,8 @@ class AsyncPageReader:
     demand_covered = MetricAttr("demand_covered")
     prefetches = MetricAttr("prefetches")
     prefetches_suppressed = MetricAttr("prefetches_suppressed")
+    prefetch_waves = MetricAttr("prefetch_waves")
+    prefetch_wave_pages = MetricAttr("prefetch_wave_pages")
     faults_seen = MetricAttr("faults_seen")
     retries = MetricAttr("retries")
     timeouts = MetricAttr("timeouts")
@@ -135,7 +137,8 @@ class AsyncPageReader:
             self, self.obs.metrics, "reader.",
             (
                 "demand_hits", "demand_reads", "demand_covered", "prefetches",
-                "prefetches_suppressed", "faults_seen", "retries", "timeouts",
+                "prefetches_suppressed", "prefetch_waves", "prefetch_wave_pages",
+                "faults_seen", "retries", "timeouts",
                 "checksum_failures", "hedges", "hedge_wins", "backoff_us",
             ),
         )
@@ -217,6 +220,28 @@ class AsyncPageReader:
         self.prefetches += 1
         self._mark("prefetch", page=page_id)
         return self._start_read(page_id)
+
+    def prefetch_wave(self, page_ids) -> int:
+        """Issue one level's worth of prefetches as a single wave.
+
+        Batched traversals hand the whole next frontier over at once (in
+        sorted page-id order, so the spindles see near-sequential runs);
+        resident and in-flight pages are skipped.  Every page goes through
+        :meth:`prefetch`, so a wave honors the same degradation knobs as
+        single prefetches — in particular a brownout-shrunken
+        ``max_outstanding_prefetches`` bounds the wave and counts the
+        overflow as suppressed.  Returns the number of reads started.
+        """
+        if not self.prefetch_enabled:
+            return 0
+        issued = 0
+        for page_id in page_ids:
+            if self.prefetch(page_id) is not None:
+                issued += 1
+        if issued:
+            self.prefetch_waves += 1
+            self.prefetch_wave_pages += issued
+        return issued
 
     # -- read paths ----------------------------------------------------------
 
