@@ -1031,6 +1031,7 @@ from .chaos import chaos_sweep  # noqa: E402  (avoids a cycle)
 from .concurrency import concurrency_sweep  # noqa: E402  (avoids a cycle)
 from .multipage import ablation_multipage_nodes  # noqa: E402  (avoids a cycle)
 from .serving import serve_batch_race, serve_sweep  # noqa: E402  (avoids a cycle)
+from .sharding import shard_sweep  # noqa: E402  (avoids a cycle)
 
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -1056,6 +1057,7 @@ ALL_EXPERIMENTS = {
     "traced-scan": traced_scan,
     "serve": serve_sweep,
     "serve-batch": serve_batch_race,
+    "shard": shard_sweep,
     "chaos": chaos_sweep,
     "concurrency": concurrency_sweep,
 }

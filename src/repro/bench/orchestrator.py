@@ -86,6 +86,11 @@ PARALLEL_EXPERIMENTS: dict[str, Callable[[dict], list[dict]]] = {
     "serve-batch": _product_planner("offered_loads"),
     # Each chaos mode builds its own MiniDbms + DbmsServer + fault plan.
     "chaos": _product_planner("modes"),
+    # Each (shard count, placement, offered load) cell builds its own
+    # key-range fleet on its own DES environment; the one-shard
+    # "optimized" cell is a deliberate no-op (it emits zero rows) in both
+    # the split and unsplit paths, so merges stay byte-identical.
+    "shard": _product_planner("shard_counts", "placements", "offered_loads"),
 }
 
 

@@ -1,0 +1,146 @@
+"""The sharded-serving experiment: fleet scaling and boundary placement.
+
+One sweep cell per ``(shard_count, placement, offered_load)`` — a fresh
+key-range fleet (:func:`~repro.shard.build_fleet`) per cell, so cells
+share no state and parallelize under ``--jobs`` — driving a block-Zipf
+open-loop stream through the router and recording, per row:
+
+* the fleet saturation story — issued / completed / shed plus lookup
+  throughput and percentiles, which is where shard-count scaling shows
+  (every fleet gets the *same per-shard hardware*, so a 4-shard fleet at
+  an offered load that saturates 1 shard completes ~4x the lookups);
+* the scatter–gather story — fragments dispatched, single- vs cross-shard
+  scans and fragment timeouts, which is where boundary placement shows
+  (optimized cuts split visibly fewer scans than equal-width cuts when
+  the key popularity is skewed).
+
+Each cell asserts fleet-wide conservation twice: once *mid-run* (the
+clock frozen with requests genuinely in flight) and once at drain.
+``placement="optimized"`` with one shard is the same fleet as
+``equal_width`` (no cuts to place), so that combination is skipped — the
+cell contributes no row under any ``--jobs`` split.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..serve import OpenLoopLoadGenerator
+from ..shard import BoundaryPlanner, build_fleet
+from ..workloads import KeyWorkload, OpMix, sample_ops
+from .results import FigureResult
+
+__all__ = ["shard_sweep"]
+
+
+def shard_sweep(
+    num_rows: int = 4_000,
+    num_disks: int = 4,
+    page_size: int = 4096,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    placements: Sequence[str] = ("equal_width", "optimized"),
+    offered_loads: Sequence[int] = (2000, 4000),
+    duration_s: float = 0.5,
+    max_concurrency: int = 8,
+    queue_depth: int = 32,
+    pool_frames: int = 64,
+    lookup_weight: float = 0.70,
+    scan_weight: float = 0.20,
+    insert_weight: float = 0.10,
+    scan_span: int = 64,
+    distribution: str = "zipf",
+    sample_count: int = 4096,
+    plan_seed: int = 3,
+    seed: int = 11,
+) -> FigureResult:
+    """Sharded serving: throughput scaling and boundary-placement quality."""
+    result = FigureResult(
+        "shard",
+        "key-range-sharded serving: fleet throughput and scan fan-out per "
+        "shard count, boundary placement and offered load",
+        [
+            "shard_count", "placement", "offered_ops_s", "issued", "completed",
+            "shed", "failed", "timeouts", "lookup_tput_ops_s", "p50_ms",
+            "p99_ms", "scan_fragments", "cross_shard_scans",
+            "single_shard_scans", "fragment_timeouts", "rr_inserts",
+            "probe_in_flight",
+        ],
+    )
+    mix = OpMix(
+        lookup=lookup_weight, scan=scan_weight, insert=insert_weight, scan_span=scan_span
+    )
+    universe = KeyWorkload(num_rows, seed=7)
+    sample = sample_ops(
+        universe.keys.size, mix, distribution=distribution,
+        count=sample_count, seed=plan_seed,
+    )
+    for shard_count in shard_counts:
+        for placement in placements:
+            if shard_count == 1 and placement == "optimized":
+                # One shard has no boundaries to optimize: the fleet would
+                # be identical to equal_width, so the cell emits no row.
+                continue
+            planner = BoundaryPlanner(universe.keys, shard_count)
+            if placement == "equal_width":
+                plan = planner.equal_width()
+            elif placement == "optimized":
+                plan = planner.optimized(sample)
+            else:
+                raise ValueError(f"unknown placement {placement!r}")
+            for rate in offered_loads:
+                router = build_fleet(
+                    num_rows,
+                    plan,
+                    num_disks=num_disks,
+                    page_size=page_size,
+                    max_concurrency=max_concurrency,
+                    queue_depth=queue_depth,
+                    pool_frames=pool_frames,
+                    seed=seed,
+                )
+                generator = OpenLoopLoadGenerator(
+                    router, rate_ops_s=rate, duration_s=duration_s, mix=mix,
+                    seed=seed, distribution=distribution,
+                )
+                generator.start()
+                # Freeze the clock mid-traffic: conservation must hold with
+                # requests genuinely in flight, not just after the drain.
+                router.run(until=duration_s * 1e6 / 2)
+                router.check_conservation()
+                probe_in_flight = router.fleet_stats().in_flight
+                router.run()
+                router.check_conservation()
+                stats = router.stats
+                lookup_hist = stats.latency_histogram("lookup")
+                elapsed_s = router.env.now / 1e6
+                percentiles = stats.percentiles_us("lookup")
+                result.add(
+                    shard_count=shard_count,
+                    placement=placement,
+                    offered_ops_s=rate,
+                    issued=stats.issued,
+                    completed=stats.completed,
+                    shed=stats.shed_count,
+                    failed=stats.failed,
+                    timeouts=stats.timeouts,
+                    lookup_tput_ops_s=round(
+                        lookup_hist.count / elapsed_s if elapsed_s > 0 else 0.0, 1
+                    ),
+                    p50_ms=round(percentiles["p50"] / 1e3, 2),
+                    p99_ms=round(percentiles["p99"] / 1e3, 2),
+                    scan_fragments=router.scan_fragments,
+                    cross_shard_scans=router.cross_shard_scans,
+                    single_shard_scans=router.single_shard_scans,
+                    fragment_timeouts=router.fragment_timeouts,
+                    rr_inserts=router.rr_inserts,
+                    probe_in_flight=probe_in_flight,
+                )
+    result.notes.append(
+        f"per-shard hardware: {num_disks} disks, {max_concurrency} tokens, "
+        f"queue bound {queue_depth}, pool {pool_frames} frames; "
+        f"{distribution} key popularity, mix {mix.lookup:g}/{mix.scan:g}/"
+        f"{mix.insert:g} lookup/scan/insert over {num_rows} rows for "
+        f"{duration_s:g}s per cell; boundary plans from a "
+        f"{sample_count}-op sample (seed {plan_seed})"
+    )
+    return result

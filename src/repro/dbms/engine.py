@@ -113,6 +113,7 @@ class MiniDbms:
         mature: bool = True,
         disk: Optional[DiskParameters] = None,
         index_kind: str = "fp-disk",
+        key_range: Optional[tuple] = None,
     ) -> None:
         self.num_disks = num_disks
         self.page_size = page_size
@@ -135,8 +136,35 @@ class MiniDbms:
         workload = KeyWorkload(num_rows, seed=seed)
         rng = np.random.default_rng(seed + 1)
         keys, __ = workload.bulkload_arrays()
-        for key in keys.tolist():
-            self.table.insert_row(int(key), int(rng.integers(0, 1 << 31)), int(key) % 997)
+        self.key_range = key_range
+        if key_range is not None:
+            # A shard of a fleet: store only the keys inside [lo, hi).  The
+            # mature-tree builder replays the full insert history, so a
+            # sliced database must bulkload instead.
+            if mature:
+                raise ValueError("key_range slicing requires mature=False")
+            lo, hi = key_range
+            mask = np.ones(keys.size, dtype=bool)
+            if lo is not None:
+                mask &= keys >= lo
+            if hi is not None:
+                mask &= keys < hi
+            if not mask.any():
+                raise ValueError(f"key_range {key_range} holds no stored keys")
+            # Draw every key's payload in full-universe order, so a row's
+            # contents are a pure function of its key — a sharded fleet
+            # stores byte-identical rows to the unsharded database.
+            for key, keep in zip(keys.tolist(), mask.tolist()):
+                value = int(rng.integers(0, 1 << 31))
+                if keep:
+                    self.table.insert_row(int(key), value, int(key) % 997)
+            keys = keys[mask]
+        else:
+            for key in keys.tolist():
+                self.table.insert_row(int(key), int(rng.integers(0, 1 << 31)), int(key) % 997)
+        #: The keys this database actually stores (the full universe, or
+        #: this shard's slice of it) — what load generators should target.
+        self.stored_keys = keys
         # Tuple ids are row positions; the index maps k1 -> tid.
         self._workload = KeyWorkload(num_rows, seed=seed)
         if mature:
@@ -145,7 +173,8 @@ class MiniDbms:
             index_workload = KeyWorkload(num_rows, seed=seed)
             build_mature_tree(self.index, index_workload, bulk_fraction=0.7)
         else:
-            self.index.bulkload(keys, workload.tids)
+            tids = np.arange(1, keys.size + 1, dtype=np.int64)
+            self.index.bulkload(keys, tids)
 
     def _make_index(self, kind: str, num_rows: int, env: Optional[TreeEnvironment] = None):
         """The database's index: any of the disk-resident structures.

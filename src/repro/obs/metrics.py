@@ -45,6 +45,10 @@ class Counter:
     def inc(self, delta: Number = 1) -> None:
         self.value += delta
 
+    def merge_from(self, other: "Counter") -> None:
+        """Fold another counter's total into this one."""
+        self.value += other.value
+
     def snapshot(self) -> Number:
         return self.value
 
@@ -66,6 +70,14 @@ class Gauge:
 
     def inc(self, delta: Number = 1) -> None:
         self.set(self.value + delta)
+
+    def merge_from(self, other: "Gauge") -> None:
+        """Fold another gauge in: values add (a fleet's in-flight total is
+        the sum of its members'), and ``max_value`` adds too — the true
+        fleet-wide peak is unobservable after the fact, so the sum is kept
+        as a conservative upper bound."""
+        self.value += other.value
+        self.max_value += other.max_value
 
     def snapshot(self) -> dict[str, Number]:
         return {"value": self.value, "max": self.max_value}
@@ -105,6 +117,25 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram's distribution into this one.
+
+        Both histograms must share identical bucket bounds — merging
+        differently-bucketed series would silently blur quantiles.
+        """
+        if self.bounds != other.bounds:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                f"bucket bounds differ"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
 
     @property
     def mean(self) -> float:
@@ -175,6 +206,27 @@ class MetricsRegistry:
         elif type(metric) is not Histogram:
             raise TypeError(f"metric {name!r} is a {type(metric).__name__}, not a Histogram")
         return metric  # type: ignore[return-value]
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold every metric of ``other`` into this registry by name.
+
+        Counters and gauges add; histograms merge bucket-wise (identical
+        bounds required).  Metrics absent here are created with the same
+        type (and, for histograms, the same bounds) before merging, so a
+        fresh registry accumulates any number of source registries — the
+        aggregation primitive behind fleet-wide
+        :meth:`~repro.serve.stats.ServerStats.merge`.
+        """
+        for name in other.names():
+            metric = other._metrics[name]
+            if isinstance(metric, Counter):
+                self.counter(name).merge_from(metric)
+            elif isinstance(metric, Gauge):
+                self.gauge(name).merge_from(metric)
+            elif isinstance(metric, Histogram):
+                self.histogram(name, metric.bounds).merge_from(metric)
+            else:  # pragma: no cover - the registry only makes these three
+                raise TypeError(f"metric {name!r} has unmergeable type {type(metric).__name__}")
 
     def names(self) -> list[str]:
         return sorted(self._metrics)

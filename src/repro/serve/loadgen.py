@@ -21,9 +21,9 @@ sequences), and both leave every number in the server's
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Optional, Union
 
-from ..workloads.ops import MixedOpStream, OpMix
+from ..workloads.ops import KeyDistribution, MixedOpStream, OpMix
 from .server import DbmsServer
 
 __all__ = ["OpenLoopLoadGenerator", "ClosedLoopLoadGenerator"]
@@ -40,6 +40,7 @@ class OpenLoopLoadGenerator:
         mix: Optional[OpMix] = None,
         seed: int = 0,
         session: str = "open",
+        distribution: Union[None, str, KeyDistribution] = None,
     ) -> None:
         if rate_ops_s <= 0:
             raise ValueError(f"rate_ops_s must be positive, got {rate_ops_s}")
@@ -51,12 +52,16 @@ class OpenLoopLoadGenerator:
         self.mix = mix if mix is not None else OpMix()
         self.seed = seed
         self.session = session
+        self.distribution = distribution
         self.issued = 0
 
     def _arrivals(self):
         env = self.server.env
         rng = random.Random((self.seed << 16) ^ 0xA221BA15)
-        stream = MixedOpStream(self.server.db._workload.keys, self.mix, seed=self.seed + 1)
+        stream = MixedOpStream(
+            self.server.workload_keys, self.mix, seed=self.seed + 1,
+            distribution=self.distribution,
+        )
         deadline = env.now + self.duration_us
         while True:
             gap_us = rng.expovariate(self.rate_ops_s) * 1e6
@@ -95,6 +100,7 @@ class ClosedLoopLoadGenerator:
         think_time_us: float = 10_000.0,
         mix: Optional[OpMix] = None,
         seed: int = 0,
+        distribution: Union[None, str, KeyDistribution] = None,
     ) -> None:
         if clients < 1:
             raise ValueError(f"clients must be >= 1, got {clients}")
@@ -108,13 +114,15 @@ class ClosedLoopLoadGenerator:
         self.think_time_us = think_time_us
         self.mix = mix if mix is not None else OpMix()
         self.seed = seed
+        self.distribution = distribution
 
     def _session(self, client_id: int):
         env = self.server.env
         rng = random.Random((self.seed << 16) ^ (client_id * 0x9E3779B1) ^ 0xC105ED)
         stream = MixedOpStream(
-            self.server.db._workload.keys, self.mix,
+            self.server.workload_keys, self.mix,
             seed=(self.seed << 8) + client_id,
+            distribution=self.distribution,
         )
         name = f"client-{client_id}"
         for __ in range(self.ops_per_client):

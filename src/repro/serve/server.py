@@ -36,13 +36,13 @@ from ..faults.errors import SimulatedCrash, StorageFault
 from ..faults.injector import FaultInjector
 from ..faults.plan import FaultPlan
 from ..obs import MetricsRegistry, Observability
-from ..storage.buffer import BufferPool, BufferPoolExhausted
+from ..storage.buffer import BufferPoolExhausted
 from ..storage.config import StorageConfig
-from ..storage.disk import DiskArray
-from ..storage.prefetch import AsyncPageReader, RetryPolicy
+from ..storage.prefetch import RetryPolicy
 from ..workloads.ops import FreshKeys
-from .admission import AdmissionController, AdmissionRejected
+from .admission import AdmissionRejected
 from .stats import ServerStats
+from .substrate import build_serving_substrate
 
 __all__ = ["BrownoutRejected", "DbmsServer", "ServedRequest"]
 
@@ -131,6 +131,8 @@ class DbmsServer:
         retry_budget: int = 8,
         batch_window_us: float = 2_000.0,
         batch_max: int = 16,
+        env: Optional[Environment] = None,
+        fresh_keys: Optional[FreshKeys] = None,
     ) -> None:
         if admission_mode not in ("fifo", "priority", "batch"):
             raise ValueError(f"unknown admission mode {admission_mode!r}")
@@ -173,9 +175,17 @@ class DbmsServer:
         #: Brownout knobs (driven by a BrownoutController, if attached).
         self.max_scan_pages: Optional[int] = None
         self.reject_inserts = False
-        #: Fresh insert keys start one stride past the stored universe.
-        max_key = int(db._workload.keys[-1])
-        self.fresh_keys = FreshKeys(max_key + 2, stride=2)
+        #: A shard-attached server shares the fleet's DES clock instead of
+        #: owning one; its substrate is bound to this environment.
+        self._external_env = env
+        if fresh_keys is not None:
+            # A shard's allocator is range-constrained (RangeFreshKeys) so
+            # routed inserts cannot mint keys outside the shard's key range.
+            self.fresh_keys = fresh_keys
+        else:
+            #: Fresh insert keys start one stride past the stored universe.
+            max_key = int(db.stored_keys[-1])
+            self.fresh_keys = FreshKeys(max_key + 2, stride=2)
         self._next_rid = 0
         self.requests: list[ServedRequest] = []
         #: Concurrency control mode: "none" keeps the legacy serve_* paths
@@ -199,24 +209,34 @@ class DbmsServer:
         self._build_substrate(initial_time=0.0)
 
     def _build_substrate(self, initial_time: float) -> None:
-        """(Re)create the DES environment and everything bound to it."""
-        self.env = Environment(initial_time=initial_time)
-        self.disks = DiskArray(
-            self.env, self._config, injector=self.injector,
-            mirrored=self.mirrored, obs=self.obs,
-        )
-        self.pool = BufferPool(self._config, self.db.store, obs=self.obs)
-        self.reader = AsyncPageReader(
-            self.env, self.disks, self.pool,
-            policy=self._policy, seed=self._seed, obs=self.obs,
-        )
-        self.admission = AdmissionController(
-            self.env,
+        """(Re)create the DES environment and everything bound to it.
+
+        The wiring itself lives in
+        :func:`~repro.serve.substrate.build_serving_substrate` — the same
+        factory a :class:`~repro.shard.ShardRouter` drives (via ``env=``)
+        for every shard, so single-server and shard construction cannot
+        drift apart.
+        """
+        substrate = build_serving_substrate(
+            self._config,
+            self.db.store,
+            env=self._external_env,
+            initial_time=initial_time,
+            injector=self.injector,
+            mirrored=self.mirrored,
+            obs=self.obs,
+            policy=self._policy,
+            seed=self._seed,
             max_concurrency=self._max_concurrency,
-            max_queue_depth=self._queue_depth,
-            mode="fifo" if self.batching else self._admission_mode,
+            queue_depth=self._queue_depth,
+            admission_mode="fifo" if self.batching else self._admission_mode,
             metrics=self.obs.metrics,
         )
+        self.env = substrate.env
+        self.disks = substrate.disks
+        self.pool = substrate.pool
+        self.reader = substrate.reader
+        self.admission = substrate.admission
         #: An open batch's closer timer died with the old environment, so a
         #: crash-rebuild starts with no batch collecting (its requests are
         #: drained by fail_unfinished like every other in-flight op).
@@ -581,9 +601,20 @@ class DbmsServer:
         fault injector, stats and metrics registry survive the rebuild;
         the disk array, buffer pool, reader and admission queue are fresh.
         """
+        if self._external_env is not None:
+            raise RuntimeError(
+                "a shard-attached server shares the fleet's DES clock and cannot "
+                "rebuild its substrate independently; rebuild the fleet through "
+                "its router"
+            )
         self._build_substrate(initial_time=self.env.now if resume_at is None else resume_at)
 
     # -- reporting ---------------------------------------------------------
+
+    @property
+    def workload_keys(self):
+        """The key universe load generators should draw operations from."""
+        return self.db.stored_keys
 
     def utilization(self) -> list[float]:
         """Per-disk busy fraction over the run so far."""

@@ -178,6 +178,28 @@ class ServerStats:
         self._scrubs.inc()
         self._scrub_violations.inc()
 
+    # -- aggregation -------------------------------------------------------
+
+    def merge(self, *others: "ServerStats") -> "ServerStats":
+        """Aggregate this stats plane with ``others`` into a fresh one.
+
+        Returns a new :class:`ServerStats` over a new registry holding the
+        metric-by-metric sum of every source: counters add, the
+        ``in_flight`` gauge adds (a fleet's in-flight total is the sum of
+        its members'), and latency/queue-wait histograms merge bucket-wise,
+        so percentiles of the merged object are computed over the union of
+        the recorded samples — not averaged from per-source percentiles.
+        Because each source satisfies the conservation identity on its own
+        and every conservation field merges by summation, the merged object
+        satisfies it too; this is the fleet-wide invariant the shard router
+        asserts.  Sources are left untouched (listeners are not copied),
+        and the same call aggregates independent runs' stats offline.
+        """
+        merged = ServerStats(MetricsRegistry())
+        for source in (self, *others):
+            merged.metrics.merge_from(source.metrics)
+        return merged
+
     # -- reading -----------------------------------------------------------
 
     @property

@@ -1,0 +1,28 @@
+"""Key-range-sharded serving: boundary planning, routing, scatter–gather.
+
+The fleet layer scales the single-machine serving stack horizontally:
+
+* :class:`~repro.shard.planner.BoundaryPlanner` places N-1 shard-boundary
+  cuts over the sorted key universe — naively at equal key-value widths,
+  or optimized from a sampled operation distribution to balance per-shard
+  load while splitting as few range scans as possible.  Cuts are always
+  snapped to stored key values so per-shard insert-key allocation stays
+  provably in-range.
+* :class:`~repro.shard.router.ShardRouter` routes point lookups and
+  inserts to the owning shard, round-robins keyless inserts, and executes
+  cross-shard range scans as scatter–gather with residual-deadline
+  propagation and an ordered merge.  All N shards share one DES clock, so
+  a fleet run is byte-identical given its seed.
+* :func:`~repro.shard.router.build_fleet` wires the whole thing: N
+  key-range-sliced databases, N servers on one environment, one router.
+
+Fleet-wide accounting is the same conservation identity the single
+server keeps — ``issued == completed + shed + failed + in_flight`` — now
+summed across the router plane and every shard plane via
+:meth:`~repro.serve.ServerStats.merge`.
+"""
+
+from .planner import BoundaryPlanner, ShardPlan
+from .router import ShardRouter, build_fleet
+
+__all__ = ["BoundaryPlanner", "ShardPlan", "ShardRouter", "build_fleet"]

@@ -1,6 +1,24 @@
 """Reproducible workload generators."""
 
 from .generator import KeyWorkload, build_mature_tree
-from .ops import FreshKeys, MixedOpStream, OpMix
+from .ops import (
+    FreshKeys,
+    KeyDistribution,
+    MixedOpStream,
+    OpMix,
+    OpSample,
+    RangeFreshKeys,
+    sample_ops,
+)
 
-__all__ = ["KeyWorkload", "build_mature_tree", "FreshKeys", "MixedOpStream", "OpMix"]
+__all__ = [
+    "KeyWorkload",
+    "build_mature_tree",
+    "FreshKeys",
+    "RangeFreshKeys",
+    "KeyDistribution",
+    "MixedOpStream",
+    "OpMix",
+    "OpSample",
+    "sample_ops",
+]

@@ -17,11 +17,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
-__all__ = ["OpMix", "MixedOpStream", "FreshKeys"]
+__all__ = [
+    "OpMix",
+    "MixedOpStream",
+    "FreshKeys",
+    "RangeFreshKeys",
+    "KeyDistribution",
+    "OpSample",
+    "sample_ops",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +58,88 @@ class OpMix:
         """(P[lookup], P[lookup or scan]) — the draw thresholds."""
         total = self.lookup + self.scan + self.insert
         return self.lookup / total, (self.lookup + self.scan) / total
+
+
+class KeyDistribution:
+    """A seeded popularity distribution over key-universe *positions*.
+
+    Positions are ranks into the sorted key universe (``0 .. n-1``); the
+    serving layer maps a drawn position to the stored key at that rank.
+    Two shapes are provided:
+
+    * :meth:`uniform` — every position equally likely (the historical
+      behaviour of :class:`MixedOpStream`).
+    * :meth:`zipf` — *block-Zipf* skew: the universe is cut into
+      ``blocks`` contiguous blocks, block popularity follows a Zipf law
+      over a seeded permutation of the blocks, and draws are uniform
+      within a block.  Permuting block ranks scatters the hot blocks
+      across the key space (instead of piling all mass onto position 0,
+      the degenerate textbook Zipf) while keeping the spatial locality
+      that makes shard-boundary placement a real optimization problem:
+      hot *regions* exist, and a boundary through one is expensive.
+
+    Draws consume exactly one ``rng.random()`` each, so swapping the
+    distribution never perturbs the rest of a seeded op stream.
+    """
+
+    __slots__ = ("n", "_cdf")
+
+    def __init__(self, weights) -> None:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.ndim != 1 or w.size == 0:
+            raise ValueError("distribution needs a non-empty 1-d weight vector")
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative with a positive sum")
+        self.n = int(w.size)
+        self._cdf = np.cumsum(w) / w.sum()
+
+    @classmethod
+    def uniform(cls, n: int) -> "KeyDistribution":
+        return cls(np.ones(int(n)))
+
+    @classmethod
+    def zipf(
+        cls, n: int, theta: float = 1.05, blocks: int = 64, seed: int = 0
+    ) -> "KeyDistribution":
+        if theta <= 0:
+            raise ValueError(f"theta must be positive, got {theta}")
+        n = int(n)
+        num_blocks = max(1, min(int(blocks), n))
+        edges = np.linspace(0, n, num_blocks + 1).astype(np.int64)
+        ranks = np.random.default_rng(seed).permutation(num_blocks)
+        weights = np.empty(n, dtype=np.float64)
+        for b in range(num_blocks):
+            lo, hi = int(edges[b]), int(edges[b + 1])
+            block_mass = 1.0 / float(ranks[b] + 1) ** theta
+            weights[lo:hi] = block_mass / max(hi - lo, 1)
+        return cls(weights)
+
+    def draw(self, rng: random.Random) -> int:
+        """One position, using a single uniform draw from ``rng``."""
+        u = rng.random()
+        return min(int(np.searchsorted(self._cdf, u, side="right")), self.n - 1)
+
+    def position_weights(self) -> np.ndarray:
+        """Per-position probability mass (sums to 1)."""
+        pdf = np.diff(self._cdf, prepend=0.0)
+        return pdf
+
+
+def _resolve_distribution(
+    distribution: Union[None, str, KeyDistribution], n: int, seed: int = 0
+) -> Optional[KeyDistribution]:
+    """``None``/``"uniform"`` -> None (fast uniform path); ``"zipf"`` -> default block-Zipf."""
+    if distribution is None or distribution == "uniform":
+        return None
+    if distribution == "zipf":
+        return KeyDistribution.zipf(n, seed=seed)
+    if isinstance(distribution, KeyDistribution):
+        if distribution.n != n:
+            raise ValueError(
+                f"distribution is over {distribution.n} positions, universe has {n}"
+            )
+        return distribution
+    raise ValueError(f"unknown distribution {distribution!r}")
 
 
 class FreshKeys:
@@ -87,7 +177,13 @@ class MixedOpStream:
     sequences; distinct seeds give independent sequences.
     """
 
-    def __init__(self, keys: np.ndarray, mix: Optional[OpMix] = None, seed: int = 0) -> None:
+    def __init__(
+        self,
+        keys: np.ndarray,
+        mix: Optional[OpMix] = None,
+        seed: int = 0,
+        distribution: Union[None, str, "KeyDistribution"] = None,
+    ) -> None:
         self.keys = np.asarray(keys)
         if self.keys.size == 0:
             raise ValueError("op stream needs a non-empty key universe")
@@ -98,17 +194,127 @@ class MixedOpStream:
             )
         self._rng = random.Random((seed << 12) ^ 0x0B5E55ED)
         self._lookup_below, self._scan_below = self.mix.cumulative()
+        self._dist = _resolve_distribution(distribution, self.keys.size, seed=0)
 
     def next_op(self) -> tuple:
         draw = self._rng.random()
         if draw < self._lookup_below:
-            index = self._rng.randrange(self.keys.size)
+            if self._dist is None:
+                index = self._rng.randrange(self.keys.size)
+            else:
+                index = self._dist.draw(self._rng)
             return ("lookup", int(self.keys[index]))
         if draw < self._scan_below:
-            start = self._rng.randrange(self.keys.size - self.mix.scan_span + 1)
+            if self._dist is None:
+                start = self._rng.randrange(self.keys.size - self.mix.scan_span + 1)
+            else:
+                start = min(self._dist.draw(self._rng), self.keys.size - self.mix.scan_span)
             return (
                 "scan",
                 int(self.keys[start]),
                 int(self.keys[start + self.mix.scan_span - 1]),
             )
         return ("insert", None)
+
+
+@dataclass(frozen=True)
+class OpSample:
+    """A seeded sample of operations, as key-universe *positions*.
+
+    This is the boundary planner's input: where lookups land, where scans
+    start (each covering ``scan_span`` consecutive positions), and how
+    many inserts were drawn.  Positions, not keys, so the planner works in
+    rank space and snaps to stored keys at the end.
+    """
+
+    lookups: np.ndarray
+    scan_starts: np.ndarray
+    scan_span: int
+    inserts: int
+
+
+def sample_ops(
+    universe_size: int,
+    mix: Optional[OpMix] = None,
+    distribution: Union[None, str, KeyDistribution] = None,
+    count: int = 4096,
+    seed: int = 0,
+) -> OpSample:
+    """Draw ``count`` operations the way a :class:`MixedOpStream` would.
+
+    The same thresholds-then-position draw sequence is used, so a sample
+    with the same ``(mix, distribution)`` shape is statistically faithful
+    to what the load generators will offer — which is what makes a
+    boundary plan computed from it transfer to the live run.
+    """
+    mix = mix if mix is not None else OpMix()
+    if mix.scan_span > universe_size:
+        raise ValueError(
+            f"scan_span {mix.scan_span} exceeds the {universe_size}-key universe"
+        )
+    dist = _resolve_distribution(distribution, universe_size, seed=0)
+    rng = random.Random((seed << 12) ^ 0x5A3B1E)
+    lookup_below, scan_below = mix.cumulative()
+    lookups: list[int] = []
+    scan_starts: list[int] = []
+    inserts = 0
+    for _ in range(int(count)):
+        draw = rng.random()
+        if draw < lookup_below:
+            pos = rng.randrange(universe_size) if dist is None else dist.draw(rng)
+            lookups.append(pos)
+        elif draw < scan_below:
+            if dist is None:
+                pos = rng.randrange(universe_size - mix.scan_span + 1)
+            else:
+                pos = min(dist.draw(rng), universe_size - mix.scan_span)
+            scan_starts.append(pos)
+        else:
+            inserts += 1
+    return OpSample(
+        lookups=np.asarray(lookups, dtype=np.int64),
+        scan_starts=np.asarray(scan_starts, dtype=np.int64),
+        scan_span=mix.scan_span,
+        inserts=inserts,
+    )
+
+
+class RangeFreshKeys:
+    """Fresh-key allocator constrained to one shard's key range.
+
+    A shard owning ``[lo, hi)`` may only mint insert keys inside that
+    range, or a routed insert would land rows on the wrong shard.  The
+    key universe has gaps >= 2 between stored keys, so ``stored_key + 1``
+    is always free; this allocator walks the shard's stored keys and
+    hands out each successor once.  With shard boundaries snapped to
+    stored key values, ``last_stored + 1 < hi`` always holds, so every
+    minted key stays strictly in-range — which :meth:`take` asserts.
+    """
+
+    def __init__(self, shard_keys: np.ndarray, lo: Optional[int], hi: Optional[int]) -> None:
+        keys = np.asarray(shard_keys, dtype=np.int64)
+        if keys.size == 0:
+            raise ValueError("a shard's fresh-key allocator needs at least one stored key")
+        self.lo = lo
+        self.hi = hi
+        if lo is not None and int(keys[0]) < lo:
+            raise ValueError(f"stored key {int(keys[0])} below shard range start {lo}")
+        if hi is not None and int(keys[-1]) >= hi:
+            raise ValueError(f"stored key {int(keys[-1])} at or above shard range end {hi}")
+        self._candidates = keys + 1
+        if hi is not None and int(self._candidates[-1]) >= hi:
+            # Unreachable when boundaries are snapped to stored keys (gap >= 2),
+            # but guard the invariant rather than silently leak a key.
+            self._candidates = self._candidates[self._candidates < hi]
+        self.taken = 0
+        self.minted: list[int] = []
+
+    def take(self) -> int:
+        if self.taken >= self._candidates.size:
+            raise RuntimeError(
+                f"shard fresh-key allocator exhausted after {self.taken} inserts"
+            )
+        key = int(self._candidates[self.taken])
+        self.taken += 1
+        self.minted.append(key)
+        return key

@@ -1,0 +1,234 @@
+"""Tests for key distributions, op sampling and shard-boundary placement."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.shard import BoundaryPlanner, ShardPlan
+from repro.workloads import (
+    KeyDistribution,
+    KeyWorkload,
+    MixedOpStream,
+    OpMix,
+    OpSample,
+    RangeFreshKeys,
+    sample_ops,
+)
+
+# -- KeyDistribution --------------------------------------------------------
+
+
+def test_uniform_distribution_covers_every_position():
+    dist = KeyDistribution.uniform(10)
+    rng = random.Random(1)
+    seen = {dist.draw(rng) for __ in range(500)}
+    assert seen == set(range(10))
+    assert abs(dist.position_weights().sum() - 1.0) < 1e-12
+
+
+def test_zipf_distribution_is_skewed_and_seeded():
+    dist = KeyDistribution.zipf(1000, seed=5)
+    weights = dist.position_weights()
+    assert weights.max() > 5 * weights.min()  # genuinely skewed
+    again = KeyDistribution.zipf(1000, seed=5)
+    assert np.array_equal(weights, again.position_weights())
+    other = KeyDistribution.zipf(1000, seed=6)
+    assert not np.array_equal(weights, other.position_weights())
+
+
+def test_zipf_hot_block_is_scattered_not_leading():
+    # The block permutation moves the hottest block away from position 0
+    # for most seeds; check a specific seed where it does.
+    for seed in range(10):
+        weights = KeyDistribution.zipf(1000, blocks=64, seed=seed).position_weights()
+        if int(np.argmax(weights)) > 64:
+            return
+    pytest.fail("hottest block led the universe for 10 consecutive seeds")
+
+
+def test_distribution_validation():
+    with pytest.raises(ValueError, match="non-empty"):
+        KeyDistribution(np.array([]))
+    with pytest.raises(ValueError, match="non-negative"):
+        KeyDistribution(np.array([1.0, -1.0]))
+    with pytest.raises(ValueError, match="theta"):
+        KeyDistribution.zipf(100, theta=0.0)
+
+
+def test_stream_distribution_none_matches_uniform_string():
+    keys = KeyWorkload(500, seed=7).keys
+    plain = MixedOpStream(keys, OpMix(), seed=3)
+    named = MixedOpStream(keys, OpMix(), seed=3, distribution="uniform")
+    ops_a = [plain.next_op() for __ in range(200)]
+    ops_b = [named.next_op() for __ in range(200)]
+    assert ops_a == ops_b  # "uniform" is the historical draw path, byte-exact
+
+
+def test_stream_zipf_distribution_is_deterministic_and_in_universe():
+    keys = KeyWorkload(500, seed=7).keys
+    key_set = set(int(k) for k in keys)
+    a = MixedOpStream(keys, OpMix(), seed=3, distribution="zipf")
+    b = MixedOpStream(keys, OpMix(), seed=3, distribution="zipf")
+    ops = [a.next_op() for __ in range(300)]
+    assert ops == [b.next_op() for __ in range(300)]
+    for op in ops:
+        if op[0] == "lookup":
+            assert op[1] in key_set
+        elif op[0] == "scan":
+            assert op[1] in key_set and op[2] in key_set and op[1] <= op[2]
+
+
+def test_stream_rejects_unknown_or_mis_sized_distribution():
+    keys = KeyWorkload(100, seed=7).keys
+    with pytest.raises(ValueError, match="unknown distribution"):
+        MixedOpStream(keys, OpMix(), distribution="hotcold")
+    with pytest.raises(ValueError, match="positions"):
+        MixedOpStream(keys, OpMix(), distribution=KeyDistribution.uniform(50))
+
+
+# -- sample_ops -------------------------------------------------------------
+
+
+def test_sample_ops_is_deterministic_and_complete():
+    mix = OpMix(lookup=0.6, scan=0.3, insert=0.1, scan_span=16)
+    a = sample_ops(1000, mix, distribution="zipf", count=2000, seed=9)
+    b = sample_ops(1000, mix, distribution="zipf", count=2000, seed=9)
+    assert np.array_equal(a.lookups, b.lookups)
+    assert np.array_equal(a.scan_starts, b.scan_starts)
+    assert a.lookups.size + a.scan_starts.size + a.inserts == 2000
+    assert a.scan_span == 16
+    assert a.scan_starts.max() <= 1000 - 16
+
+
+# -- planner statistics (hand-computed) -------------------------------------
+
+
+def _sample(lookups, scan_starts, span):
+    return OpSample(
+        lookups=np.asarray(lookups, dtype=np.int64),
+        scan_starts=np.asarray(scan_starts, dtype=np.int64),
+        scan_span=span,
+        inserts=0,
+    )
+
+
+def test_position_load_hand_computed():
+    # Lookups at 2, 2, 5; one scan starting at 1 covering positions 1-3.
+    load = BoundaryPlanner.position_load(_sample([2, 2, 5], [1], 3), 10)
+    assert load.tolist() == [0, 1, 3, 1, 0, 1, 0, 0, 0, 0]
+
+
+def test_straddle_costs_hand_computed():
+    # One scan covers positions 1-3: only cuts at 2 and 3 split it.
+    costs = BoundaryPlanner.straddle_costs(_sample([], [1], 3), 10)
+    assert costs.tolist() == [0, 0, 1, 1, 0, 0, 0, 0, 0, 0]
+
+
+# -- placements -------------------------------------------------------------
+
+
+def test_equal_width_cuts_snap_to_stored_keys():
+    keys = KeyWorkload(800, seed=7).keys
+    plan = BoundaryPlanner(keys, 4).equal_width()
+    key_set = set(int(k) for k in keys)
+    assert len(plan.cuts) == 3
+    for cut in plan.cuts:
+        assert cut in key_set
+    assert plan.placement == "equal_width"
+
+
+def test_optimized_balances_load_and_splits_fewer_scans():
+    keys = KeyWorkload(4000, seed=7).keys
+    mix = OpMix(lookup=0.7, scan=0.2, insert=0.1, scan_span=64)
+    sample = sample_ops(keys.size, mix, distribution="zipf", count=4096, seed=3)
+    planner = BoundaryPlanner(keys, 4)
+    equal = planner.equal_width()
+    opt = planner.optimized(sample)
+    key_set = set(int(k) for k in keys)
+    for cut in opt.cuts:
+        assert cut in key_set
+    # Balance: no shard more than ~50% above the mean sampled load.
+    load = opt.predicted_load(sample)
+    assert load.max() <= 1.5 * load.mean()
+    # Fan-out: strictly fewer fragments than the naive baseline on skew.
+    assert opt.predicted_fragments(sample) < equal.predicted_fragments(sample)
+
+
+def test_optimized_is_deterministic():
+    keys = KeyWorkload(2000, seed=7).keys
+    sample = sample_ops(keys.size, OpMix(), distribution="zipf", count=2048, seed=4)
+    a = BoundaryPlanner(keys, 4).optimized(sample)
+    b = BoundaryPlanner(keys, 4).optimized(sample)
+    assert a.cuts == b.cuts and a.cut_positions == b.cut_positions
+
+
+def test_optimized_empty_sample_falls_back_to_position_quantiles():
+    keys = KeyWorkload(400, seed=7).keys
+    plan = BoundaryPlanner(keys, 4).optimized(_sample([], [], 8))
+    sizes = np.diff([0, *plan.cut_positions, keys.size])
+    assert sizes.min() >= 1
+    assert sizes.max() - sizes.min() <= 2  # near-equal key counts per shard
+
+
+# -- ShardPlan --------------------------------------------------------------
+
+
+def test_shard_plan_validation():
+    with pytest.raises(ValueError, match="cuts"):
+        ShardPlan(shard_count=3, placement="x", cuts=(10,), cut_positions=(1,))
+    with pytest.raises(ValueError, match="increasing"):
+        ShardPlan(shard_count=3, placement="x", cuts=(20, 10), cut_positions=(2, 1))
+    with pytest.raises(ValueError, match="shard_count"):
+        ShardPlan(shard_count=0, placement="x")
+
+
+def test_shard_for_key_boundary_goes_above():
+    plan = ShardPlan(
+        shard_count=3, placement="x", cuts=(100, 200), cut_positions=(10, 20),
+        universe_size=30,
+    )
+    assert plan.shard_for_key(99) == 0
+    assert plan.shard_for_key(100) == 1  # a key equal to a cut goes above it
+    assert plan.shard_for_key(199) == 1
+    assert plan.shard_for_key(200) == 2
+    assert plan.key_ranges() == [(None, 100), (100, 200), (200, None)]
+
+
+def test_fragments_hand_computed():
+    plan = ShardPlan(
+        shard_count=3, placement="x", cuts=(100, 200), cut_positions=(10, 20),
+        universe_size=30,
+    )
+    assert plan.fragments(50, 250) == [(0, 50, 99), (1, 100, 199), (2, 200, 250)]
+    assert plan.fragments(120, 150) == [(1, 120, 150)]
+    assert plan.fragments(99, 100) == [(0, 99, 99), (1, 100, 100)]
+
+
+# -- RangeFreshKeys ---------------------------------------------------------
+
+
+def test_range_fresh_keys_mints_successors_in_range():
+    keys = np.array([100, 104, 110], dtype=np.int64)
+    fresh = RangeFreshKeys(keys, 100, 112)
+    assert [fresh.take(), fresh.take(), fresh.take()] == [101, 105, 111]
+    assert fresh.minted == [101, 105, 111]
+    assert fresh.taken == 3
+    with pytest.raises(RuntimeError, match="exhausted"):
+        fresh.take()
+
+
+def test_range_fresh_keys_unbounded_ends():
+    keys = np.array([10, 14], dtype=np.int64)
+    fresh = RangeFreshKeys(keys, None, None)
+    assert fresh.take() == 11
+
+
+def test_range_fresh_keys_validates_range():
+    keys = np.array([10, 14], dtype=np.int64)
+    with pytest.raises(ValueError, match="below"):
+        RangeFreshKeys(keys, 12, None)
+    with pytest.raises(ValueError, match="at or above"):
+        RangeFreshKeys(keys, None, 14)
+    with pytest.raises(ValueError, match="at least one"):
+        RangeFreshKeys(np.array([], dtype=np.int64), None, None)
