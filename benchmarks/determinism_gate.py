@@ -1,0 +1,23 @@
+#!/usr/bin/env python
+"""Thin CLI over :mod:`repro.bench.determinism` for the CI smoke cells.
+
+Usage (from the repo root, ``PYTHONPATH=src`` or the package installed)::
+
+    python benchmarks/determinism_gate.py rerun --artifact out.json -- \
+        python benchmarks/bench_serve.py --smoke --out {out}
+    python benchmarks/determinism_gate.py jobs -- \
+        python -m repro.bench shard --set duration_s=0.3
+
+``rerun`` executes the command twice (each with its own ``{out}`` temp
+file) and fails unless both the files and the wall-clock-normalized
+stdout are byte-identical; ``jobs`` appends ``--jobs 1`` / ``--jobs 2``
+and diffs stdout.  Exit status 0 on identical, 1 with the first
+diverging line otherwise.
+"""
+
+import sys
+
+from repro.bench.determinism import main
+
+if __name__ == "__main__":
+    sys.exit(main())

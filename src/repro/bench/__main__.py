@@ -2,7 +2,15 @@
 
 Run ``python -m repro.bench list`` to see every experiment id; ``all`` runs
 the full set.  Figure functions accept keyword overrides via ``--set
-name=value`` (ints, floats and comma-separated int tuples are parsed).
+name=value`` (ints, floats and comma-separated int tuples are parsed);
+unknown names and overrides that no experiment will consume are errors,
+not silent no-ops.
+
+``python -m repro.bench scenario --matrix FILE`` runs a declarative
+scenario matrix (see :mod:`repro.scenario`): every spec is validated
+before any simulation starts, cells fan over ``--jobs`` workers with a
+deterministic merge, and ``--csv``/``--md``/``--json`` write the
+rendered artifacts.
 """
 
 from __future__ import annotations
@@ -23,6 +31,102 @@ def _parse_value(text: str):
         except ValueError:
             continue
     return text
+
+
+def _scenario_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench scenario",
+        description="Run a declarative scenario matrix (validated before any "
+        "simulation; deterministic across --jobs values).",
+    )
+    parser.add_argument("--matrix", required=True, metavar="FILE",
+                        help="TOML matrix: optional [defaults] + [[scenario]] tables")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan scenario cells over N worker processes")
+    parser.add_argument("--csv", metavar="FILE", help="write all rows as one flat CSV")
+    parser.add_argument("--md", metavar="FILE",
+                        help="write a markdown report (one table per scenario)")
+    parser.add_argument("--json", dest="json_path", metavar="FILE",
+                        help="write the full payload (specs echoed next to rows)")
+    parser.add_argument("--validate-only", action="store_true",
+                        help="validate every spec and exit without simulating")
+    parser.add_argument("--gate", action="store_true",
+                        help="determinism gate: re-run the matrix (and a --jobs 1 "
+                        "pass when --jobs > 1) and require byte-identical payloads")
+    parser.add_argument("--budget-s", type=float, default=None, metavar="SECONDS",
+                        help="fail (exit 3) if the matrix takes longer than this "
+                        "wall-clock budget; results are still written first")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    import json as json_mod
+
+    from ..scenario import (
+        ScenarioError,
+        load_matrix,
+        matrix_payload,
+        matrix_to_csv,
+        matrix_to_markdown,
+        run_matrix,
+        validate_matrix,
+    )
+
+    try:
+        specs = load_matrix(args.matrix)
+        validate_matrix(specs)
+    except ScenarioError as exc:
+        for problem in exc.problems:
+            print(f"invalid scenario matrix: {problem}", file=sys.stderr)
+        return 2
+    if args.validate_only:
+        print(f"{args.matrix}: {len(specs)} scenario(s) valid "
+              f"({', '.join(spec.name for spec in specs)})")
+        return 0
+
+    started = time.time()
+    results = run_matrix(specs, jobs=args.jobs)
+    elapsed = time.time() - started
+    payload = matrix_payload(specs, results)
+    payload_bytes = json_mod.dumps(payload, indent=2, sort_keys=True).encode()
+
+    if args.gate:
+        from .determinism import assert_identical_bytes
+
+        gate_jobs = [args.jobs, 1] if args.jobs > 1 else [1]
+        for n in gate_jobs:
+            rerun = matrix_payload(specs, run_matrix(specs, jobs=n))
+            assert_identical_bytes(
+                payload_bytes,
+                json_mod.dumps(rerun, indent=2, sort_keys=True).encode(),
+                f"matrix payloads (--jobs {args.jobs} vs --jobs {n} re-run)",
+            )
+        print(f"determinism gate passed: {len(gate_jobs)} re-run(s) byte-identical")
+
+    for result in results:
+        print(result.format_table())
+        print()
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(matrix_to_csv(results))
+        print(f"wrote {args.csv}")
+    if args.md:
+        with open(args.md, "w") as handle:
+            handle.write(matrix_to_markdown(specs, results))
+        print(f"wrote {args.md}")
+    if args.json_path:
+        with open(args.json_path, "wb") as handle:
+            handle.write(payload_bytes + b"\n")
+        print(f"wrote {args.json_path}")
+    print(f"[scenario matrix of {len(specs)} finished in {elapsed:.1f}s]")
+    if args.budget_s is not None and elapsed > args.budget_s:
+        print(
+            f"wall-clock budget exceeded: {elapsed:.1f}s > {args.budget_s:g}s "
+            "(trim the matrix or raise --budget-s)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -61,6 +165,10 @@ def main(argv: list[str] | None = None) -> int:
         "(open in chrome://tracing or ui.perfetto.dev); currently only "
         "'traced-scan' attaches one",
     )
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv[:1] == ["scenario"]:
+        return _scenario_main(argv[1:])
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -76,20 +184,30 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"--set expects NAME=VALUE, got {item!r}")
         name, __, value = item.partition("=")
         overrides[name] = _parse_value(value)
+    if overrides and len(names) != 1:
+        # 'all' used to accept --set and silently drop it; different
+        # experiments disagree on parameter names, so refuse instead.
+        parser.error(
+            "--set only applies to a single experiment; "
+            "'all' would silently ignore the override(s)"
+        )
 
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
-    from .orchestrator import run_experiment
+    from .orchestrator import normalize_overrides, run_experiment
 
     collected = []
     for name in names:
         if name not in ALL_EXPERIMENTS:
             parser.error(f"unknown experiment {name!r}; try 'list'")
+        try:
+            checked = normalize_overrides(name, overrides)
+        except ValueError as exc:
+            # Unknown --set names die here, before any cell runs.
+            parser.error(str(exc))
         started = time.time()
-        result = run_experiment(
-            name, overrides if len(names) == 1 else None, jobs=args.jobs
-        )
+        result = run_experiment(name, checked, jobs=args.jobs)
         print(result.format_table())
         print(f"[{name} finished in {time.time() - started:.1f}s]\n")
         collected.append(result)

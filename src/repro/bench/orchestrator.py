@@ -33,7 +33,48 @@ from typing import Callable, Optional, Sequence
 from .figures import ALL_EXPERIMENTS
 from .results import FigureResult
 
-__all__ = ["plan_cells", "run_experiment", "PARALLEL_EXPERIMENTS"]
+__all__ = [
+    "plan_cells",
+    "run_experiment",
+    "map_cells",
+    "normalize_overrides",
+    "PARALLEL_EXPERIMENTS",
+]
+
+
+def normalize_overrides(name: str, overrides: Optional[dict]) -> dict:
+    """Check ``--set`` overrides against the experiment's signature.
+
+    Two failure modes used to slip through silently and die deep inside a
+    worker (or worse, not die at all): an override name the experiment
+    doesn't accept, and a scalar value for a *sequence* axis (``--set
+    sizes=2000`` parses to the int ``2000``, which the cell planner would
+    then try to iterate).  Unknown names raise here, before any cell
+    runs, listing the valid parameters; scalars aimed at sequence axes
+    are coerced to one-element tuples.
+    """
+    if not overrides:
+        return {}
+    fn = ALL_EXPERIMENTS[name]
+    params = {
+        pname: param.default
+        for pname, param in inspect.signature(fn).parameters.items()
+        if param.default is not inspect.Parameter.empty
+    }
+    unknown = sorted(set(overrides) - set(params))
+    if unknown:
+        raise ValueError(
+            f"experiment {name!r} has no parameter(s) {', '.join(unknown)}; "
+            f"valid --set names: {', '.join(sorted(params))}"
+        )
+    normalized = {}
+    for key, value in overrides.items():
+        if isinstance(params[key], (tuple, list)) and not isinstance(
+            value, (tuple, list)
+        ):
+            value = (value,)
+        normalized[key] = value
+    return normalized
 
 
 def _effective_params(name: str, overrides: Optional[dict]) -> dict:
@@ -44,8 +85,7 @@ def _effective_params(name: str, overrides: Optional[dict]) -> dict:
         for pname, param in inspect.signature(fn).parameters.items()
         if param.default is not inspect.Parameter.empty
     }
-    if overrides:
-        params.update(overrides)
+    params.update(normalize_overrides(name, overrides))
     return params
 
 
@@ -134,6 +174,24 @@ def _merge(name: str, partials: Sequence[dict]) -> FigureResult:
     return merged
 
 
+def map_cells(worker: Callable, tasks: Sequence, jobs: int = 1) -> list:
+    """Map ``worker`` over ``tasks``, optionally across worker processes.
+
+    The deterministic core shared by :func:`run_experiment` and the
+    scenario matrix runner (:mod:`repro.scenario`): results come back in
+    *task* order (``Pool.map`` order, never completion order), and
+    ``jobs=1`` runs the identical tasks inline, so the output is a pure
+    function of the task list.  ``worker`` must be a module-level
+    function and the tasks picklable when ``jobs > 1``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(worker, list(tasks), chunksize=1)
+
+
 def run_experiment(
     name: str,
     overrides: Optional[dict] = None,
@@ -164,6 +222,5 @@ def run_experiment(
                 }
             )
     else:
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            partials = pool.map(_run_cell, tasks, chunksize=1)
+        partials = map_cells(_run_cell, tasks, jobs)
     return _merge(name, partials)

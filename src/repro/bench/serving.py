@@ -39,9 +39,23 @@ def serve_sweep(
     scan_weight: float = 0.20,
     insert_weight: float = 0.10,
     scan_span: int = 64,
+    distribution: Optional[str] = None,
+    burstiness: float = 1.0,
+    admission_mode: str = "fifo",
+    batch_max: int = 16,
+    batch_window_us: float = 2_000.0,
+    concurrency: str = "none",
     seed: int = 11,
 ) -> FigureResult:
-    """Serving saturation curve: throughput and latency vs offered load."""
+    """Serving saturation curve: throughput and latency vs offered load.
+
+    The defaults reproduce the historical sweep bit-for-bit; the extra
+    knobs are the scenario axes (``repro.scenario`` lowers serve specs
+    here): key-popularity ``distribution`` (``"uniform"``/``"zipf"``/
+    ``"zipf:THETA"``), arrival ``burstiness``, ``admission_mode``
+    (``"fifo"`` or level-wise ``"batch"`` lookups), and page-level
+    ``concurrency`` control.
+    """
     result = FigureResult(
         "serve",
         "open-loop serving: throughput, latency percentiles and shedding vs offered load",
@@ -65,10 +79,15 @@ def serve_sweep(
             queue_depth=queue_depth,
             pool_frames=pool_frames,
             deadline_us=deadline_us,
+            admission_mode=admission_mode,
+            batch_max=batch_max,
+            batch_window_us=batch_window_us,
+            concurrency=concurrency,
             seed=seed,
         )
         generator = OpenLoopLoadGenerator(
-            server, rate_ops_s=rate, duration_s=duration_s, mix=mix, seed=seed
+            server, rate_ops_s=rate, duration_s=duration_s, mix=mix, seed=seed,
+            distribution=distribution, burstiness=burstiness,
         )
         stats = generator.run()
         assert stats.conserved(), "conservation identity violated at end of run"
@@ -93,6 +112,19 @@ def serve_sweep(
         f"pool {pool_frames} frames, mix {mix.lookup:g}/{mix.scan:g}/{mix.insert:g} "
         f"lookup/scan/insert over {num_rows} rows for {duration_s:g}s per cell"
     )
+    # Only non-default scenario knobs appear in the note, so the historical
+    # default sweep's output stays byte-identical.
+    knobs = []
+    if distribution not in (None, "uniform"):
+        knobs.append(f"{distribution} key popularity")
+    if burstiness != 1.0:
+        knobs.append(f"burstiness {burstiness:g}")
+    if admission_mode != "fifo":
+        knobs.append(f"admission {admission_mode} (max {batch_max}, window {batch_window_us:g}us)")
+    if concurrency != "none":
+        knobs.append(f"{concurrency} concurrency control")
+    if knobs:
+        result.notes.append("; ".join(knobs))
     return result
 
 

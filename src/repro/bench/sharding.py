@@ -49,11 +49,21 @@ def shard_sweep(
     insert_weight: float = 0.10,
     scan_span: int = 64,
     distribution: str = "zipf",
+    burstiness: float = 1.0,
+    admission_mode: str = "fifo",
+    batch_max: int = 16,
+    batch_window_us: float = 2_000.0,
     sample_count: int = 4096,
     plan_seed: int = 3,
     seed: int = 11,
 ) -> FigureResult:
-    """Sharded serving: throughput scaling and boundary-placement quality."""
+    """Sharded serving: throughput scaling and boundary-placement quality.
+
+    ``admission_mode``/``batch_*`` select per-shard admission (``"batch"``
+    groups each shard's point lookups into level-wise batches);
+    ``burstiness`` shapes the open-loop arrival process.  Defaults
+    reproduce the historical sweep bit-for-bit.
+    """
     result = FigureResult(
         "shard",
         "key-range-sharded serving: fleet throughput and scan fan-out per "
@@ -96,11 +106,14 @@ def shard_sweep(
                     max_concurrency=max_concurrency,
                     queue_depth=queue_depth,
                     pool_frames=pool_frames,
+                    admission_mode=admission_mode,
+                    batch_max=batch_max,
+                    batch_window_us=batch_window_us,
                     seed=seed,
                 )
                 generator = OpenLoopLoadGenerator(
                     router, rate_ops_s=rate, duration_s=duration_s, mix=mix,
-                    seed=seed, distribution=distribution,
+                    seed=seed, distribution=distribution, burstiness=burstiness,
                 )
                 generator.start()
                 # Freeze the clock mid-traffic: conservation must hold with
@@ -143,4 +156,13 @@ def shard_sweep(
         f"{duration_s:g}s per cell; boundary plans from a "
         f"{sample_count}-op sample (seed {plan_seed})"
     )
+    # Non-default scenario knobs only, keeping the default sweep's output
+    # byte-identical to the historical one.
+    knobs = []
+    if burstiness != 1.0:
+        knobs.append(f"burstiness {burstiness:g}")
+    if admission_mode != "fifo":
+        knobs.append(f"admission {admission_mode} (max {batch_max}, window {batch_window_us:g}us)")
+    if knobs:
+        result.notes.append("; ".join(knobs))
     return result

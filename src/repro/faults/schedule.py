@@ -164,6 +164,12 @@ class ChaosSchedule:
     def has_crash_points(self) -> bool:
         return any(event.kind in _CRASH_VERBS.values() for event in self.events)
 
+    @property
+    def referenced_disks(self) -> tuple[int, ...]:
+        """Every disk index any clause names, sorted (validators range-check
+        these against the array size before a simulation ever starts)."""
+        return tuple(sorted({e.disk for e in self.events if e.disk is not None}))
+
     def describe(self) -> str:
         return "; ".join(event.describe() for event in self.events)
 

@@ -1,0 +1,37 @@
+"""Declarative scenario specs, validated before any simulation runs.
+
+The serving stack grew one axis per PR — workload mix and skew, chaos
+schedules with crash points, admission batching, page-level concurrency
+control, key-range sharding — and every evaluation so far wired those
+axes together by hand in a bench function.  This package replaces the
+hand-wiring with data: a :class:`ScenarioSpec` names one point in the
+grid, a matrix file holds many, a cross-field validator rejects the
+combinations that cannot work *before* the discrete-event clock starts,
+and a compiler lowers the survivors onto the existing runners behind the
+orchestrator's deterministic process pool.
+
+    specs = load_matrix("benchmarks/scenarios/smoke.toml")
+    results = run_matrix(specs, jobs=4)        # byte-identical for any jobs
+    print(matrix_to_markdown(specs, results))
+
+CLI: ``python -m repro.bench scenario --matrix FILE --jobs N``.
+"""
+
+from .compile import lower, plan_scenario_cells, run_scenario
+from .matrix import load_matrix, run_matrix, validate_matrix
+from .render import matrix_payload, matrix_to_csv, matrix_to_markdown
+from .spec import ScenarioError, ScenarioSpec
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioSpec",
+    "lower",
+    "plan_scenario_cells",
+    "run_scenario",
+    "load_matrix",
+    "run_matrix",
+    "validate_matrix",
+    "matrix_payload",
+    "matrix_to_csv",
+    "matrix_to_markdown",
+]

@@ -20,6 +20,7 @@ sequences), and both leave every number in the server's
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Optional, Union
 
@@ -30,7 +31,17 @@ __all__ = ["OpenLoopLoadGenerator", "ClosedLoopLoadGenerator"]
 
 
 class OpenLoopLoadGenerator:
-    """Poisson arrivals at a fixed offered rate, independent of completions."""
+    """Poisson arrivals at a fixed offered rate, independent of completions.
+
+    ``burstiness`` shapes the arrival process without changing its mean
+    rate: at the default ``1.0`` arrivals are the classic Poisson stream
+    (one exponential gap per request — bit-identical to the historical
+    draw sequence); above it, requests arrive in geometric bursts of mean
+    size ``burstiness`` separated by exponential gaps stretched by the
+    same factor.  The offered load is identical; the *variance* is not —
+    bursty traffic slams the admission queue in clumps, the scenario
+    axis the paper's steady one-client driver never exercises.
+    """
 
     def __init__(
         self,
@@ -41,11 +52,14 @@ class OpenLoopLoadGenerator:
         seed: int = 0,
         session: str = "open",
         distribution: Union[None, str, KeyDistribution] = None,
+        burstiness: float = 1.0,
     ) -> None:
         if rate_ops_s <= 0:
             raise ValueError(f"rate_ops_s must be positive, got {rate_ops_s}")
         if duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {duration_s}")
+        if burstiness < 1.0:
+            raise ValueError(f"burstiness must be >= 1.0, got {burstiness}")
         self.server = server
         self.rate_ops_s = rate_ops_s
         self.duration_us = duration_s * 1e6
@@ -53,7 +67,16 @@ class OpenLoopLoadGenerator:
         self.seed = seed
         self.session = session
         self.distribution = distribution
+        self.burstiness = burstiness
         self.issued = 0
+
+    def _burst_size(self, rng: random.Random) -> int:
+        """Geometric burst size with mean ``burstiness`` (one uniform draw)."""
+        # P(K = k) = p (1-p)^(k-1) with p = 1/burstiness has mean burstiness;
+        # inverse-CDF sampling keeps the draw count at exactly one per burst.
+        p = 1.0 / self.burstiness
+        u = max(rng.random(), 1e-12)
+        return 1 + int(math.log(u) / math.log(1.0 - p))
 
     def _arrivals(self):
         env = self.server.env
@@ -63,14 +86,20 @@ class OpenLoopLoadGenerator:
             distribution=self.distribution,
         )
         deadline = env.now + self.duration_us
+        bursty = self.burstiness > 1.0
         while True:
-            gap_us = rng.expovariate(self.rate_ops_s) * 1e6
+            # Gaps stretch by the mean burst size so the offered rate is
+            # unchanged: (burstiness ops) / (burstiness / rate seconds).
+            gap_rate = self.rate_ops_s / self.burstiness if bursty else self.rate_ops_s
+            gap_us = rng.expovariate(gap_rate) * 1e6
             if env.now + gap_us >= deadline:
                 return
             yield env.timeout(gap_us)
-            request = self.server.make_request(stream.next_op(), session=self.session)
-            self.server.submit(request)  # fire and forget: open loop never waits
-            self.issued += 1
+            burst = self._burst_size(rng) if bursty else 1
+            for __ in range(burst):
+                request = self.server.make_request(stream.next_op(), session=self.session)
+                self.server.submit(request)  # fire and forget: open loop never waits
+                self.issued += 1
 
     def start(self):
         """Spawn the arrival process; returns its DES process event."""

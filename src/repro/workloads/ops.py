@@ -128,11 +128,25 @@ class KeyDistribution:
 def _resolve_distribution(
     distribution: Union[None, str, KeyDistribution], n: int, seed: int = 0
 ) -> Optional[KeyDistribution]:
-    """``None``/``"uniform"`` -> None (fast uniform path); ``"zipf"`` -> default block-Zipf."""
+    """``None``/``"uniform"`` -> None (fast uniform path); ``"zipf"`` -> default block-Zipf.
+
+    ``"zipf:THETA"`` (e.g. ``"zipf:1.4"``) selects the block-Zipf shape
+    with an explicit skew exponent — the form the scenario specs compile
+    to, so a spec's ``zipf_theta`` travels through the same string channel
+    as the plain shapes.
+    """
     if distribution is None or distribution == "uniform":
         return None
     if distribution == "zipf":
         return KeyDistribution.zipf(n, seed=seed)
+    if isinstance(distribution, str) and distribution.startswith("zipf:"):
+        try:
+            theta = float(distribution.split(":", 1)[1])
+        except ValueError:
+            raise ValueError(
+                f"bad zipf theta in distribution {distribution!r}; use 'zipf:1.4'"
+            ) from None
+        return KeyDistribution.zipf(n, theta=theta, seed=seed)
     if isinstance(distribution, KeyDistribution):
         if distribution.n != n:
             raise ValueError(

@@ -10,6 +10,7 @@ import pytest
 from repro.bench.figures import ALL_EXPERIMENTS
 from repro.bench.orchestrator import (
     PARALLEL_EXPERIMENTS,
+    normalize_overrides,
     plan_cells,
     run_experiment,
 )
@@ -79,3 +80,36 @@ def test_unknown_experiment_and_bad_jobs_raise():
         run_experiment("no-such-figure")
     with pytest.raises(ValueError):
         run_experiment("fig10", FIG10_SMALL, jobs=0)
+
+
+def test_unknown_override_rejected_before_any_cell_runs():
+    """Regression: ``--set nonsense=5`` used to die with a bare TypeError
+    deep inside a worker (or be silently dropped); now the bad name is
+    rejected up front, listing the valid parameters."""
+    with pytest.raises(ValueError, match="no parameter\\(s\\) nonsense"):
+        normalize_overrides("fig10", {"nonsense": 5})
+    with pytest.raises(ValueError, match="valid --set names"):
+        run_experiment("fig10", {"nonsense": 5})
+
+
+def test_scalar_override_coerced_onto_sequence_axis():
+    """Regression: ``--set sizes=2000`` parses to the scalar int 2000,
+    which the cell planner then tried to iterate (the committed CI
+    perf-smoke line hit exactly this).  Scalars aimed at sequence axes
+    now become one-element tuples."""
+    checked = normalize_overrides("fig10", {"sizes": 2_000, "searches": 20})
+    assert checked["sizes"] == (2_000,)
+    assert checked["searches"] == 20  # scalar parameter stays scalar
+    result = run_experiment(
+        "fig10", {"page_sizes": (4096,), "sizes": 2_000, "searches": 20}, jobs=2
+    )
+    assert result.rows
+
+
+def test_cli_rejects_set_with_all(capsys):
+    """Regression: ``all --set x=y`` silently dropped the override."""
+    from repro.bench.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["all", "--set", "searches=20"])
+    assert "silently ignore" in capsys.readouterr().err
